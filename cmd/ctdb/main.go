@@ -1,0 +1,286 @@
+// Command ctdb is the command-line front end of the temporal contract
+// database. It manages a broker snapshot on disk:
+//
+//	ctdb init   -db FILE -events a,b,c        create an empty database
+//	ctdb gen    -db FILE -n 100 [-props 5]    add generated contracts
+//	ctdb add    -db FILE -name N -spec LTL    register one contract
+//	ctdb query  -db FILE -spec LTL [-mode M]  run a query
+//	ctdb show   -db FILE [-name N]            list contracts / dump one automaton
+//	ctdb stats  -db FILE                      database and index statistics
+//
+// Example session:
+//
+//	ctdb init -db fares.ctdb -events purchase,use,refund,dateChange
+//	ctdb add  -db fares.ctdb -name NoRefunds -spec 'G(!refund)'
+//	ctdb query -db fares.ctdb -spec 'F refund'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"contractdb/internal/core"
+	"contractdb/internal/datagen"
+	"contractdb/internal/ltl"
+	"contractdb/internal/vocab"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "init":
+		err = cmdInit(args)
+	case "gen":
+		err = cmdGen(args)
+	case "add":
+		err = cmdAdd(args)
+	case "query":
+		err = cmdQuery(args)
+	case "show":
+		err = cmdShow(args)
+	case "stats":
+		err = cmdStats(args)
+	case "export":
+		err = cmdExport(args)
+	case "import":
+		err = cmdImport(args)
+	case "explain":
+		err = cmdExplain(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "ctdb: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ctdb:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: ctdb <command> [flags]
+
+commands:
+  init   -db FILE -events a,b,c         create an empty database
+  gen    -db FILE -n N [-props P]       add N generated contracts (P patterns each)
+  add    -db FILE -name NAME -spec LTL  register one contract
+  query  -db FILE -spec LTL [-mode opt|scan]  evaluate a query
+  show   -db FILE [-name NAME]          list contracts, or dump one automaton
+  stats  -db FILE                       database and index statistics
+  export -db FILE [-out FILE]           dump contracts in the corpus text format
+  import -db FILE -in FILE [-workers N] bulk-register a corpus file in parallel
+  explain -db FILE -name NAME -spec LTL show a witness run for a permitted query`)
+}
+
+func loadDB(path string) (*core.DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.Load(f)
+}
+
+func saveDB(db *core.DB, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := db.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func cmdInit(args []string) error {
+	fs := flag.NewFlagSet("init", flag.ExitOnError)
+	dbPath := fs.String("db", "", "database file to create")
+	events := fs.String("events", "", "comma-separated event vocabulary")
+	fs.Parse(args)
+	if *dbPath == "" {
+		return fmt.Errorf("init: -db is required")
+	}
+	var names []string
+	if *events != "" {
+		names = strings.Split(*events, ",")
+	}
+	voc, err := vocab.FromNames(names...)
+	if err != nil {
+		return err
+	}
+	db := core.NewDB(voc, core.Options{})
+	if err := saveDB(db, *dbPath); err != nil {
+		return err
+	}
+	fmt.Printf("created %s with %d events\n", *dbPath, voc.Len())
+	return nil
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	dbPath := fs.String("db", "", "database file")
+	n := fs.Int("n", 100, "number of contracts to generate")
+	props := fs.Int("props", 5, "LTL pattern instances per contract")
+	seed := fs.Int64("seed", time.Now().UnixNano(), "generator seed")
+	fs.Parse(args)
+	if *dbPath == "" {
+		return fmt.Errorf("gen: -db is required")
+	}
+	db, err := loadDB(*dbPath)
+	if err != nil {
+		return err
+	}
+	voc := db.Vocabulary()
+	if voc.Len() == 0 {
+		return fmt.Errorf("gen: database vocabulary is empty; re-run init with -events")
+	}
+	gen := datagen.New(voc, *seed)
+	start := time.Now()
+	added := 0
+	for added < *n {
+		if _, err := db.Register("", gen.Specification(*props)); err != nil {
+			continue // regenerate unsatisfiable draws
+		}
+		added++
+	}
+	fmt.Printf("registered %d contracts in %v (database now holds %d)\n",
+		added, time.Since(start).Round(time.Millisecond), db.Len())
+	return saveDB(db, *dbPath)
+}
+
+func cmdAdd(args []string) error {
+	fs := flag.NewFlagSet("add", flag.ExitOnError)
+	dbPath := fs.String("db", "", "database file")
+	name := fs.String("name", "", "contract name")
+	spec := fs.String("spec", "", "LTL specification")
+	fs.Parse(args)
+	if *dbPath == "" || *spec == "" {
+		return fmt.Errorf("add: -db and -spec are required")
+	}
+	db, err := loadDB(*dbPath)
+	if err != nil {
+		return err
+	}
+	c, err := db.RegisterLTL(*name, *spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("registered %s (%d automaton states, %d transitions)\n",
+		c.Name, c.Automaton().NumStates(), c.Automaton().NumEdges())
+	return saveDB(db, *dbPath)
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	dbPath := fs.String("db", "", "database file")
+	spec := fs.String("spec", "", "LTL query")
+	mode := fs.String("mode", "opt", "evaluation mode: opt (indexed) or scan (unoptimized)")
+	fs.Parse(args)
+	if *dbPath == "" || *spec == "" {
+		return fmt.Errorf("query: -db and -spec are required")
+	}
+	db, err := loadDB(*dbPath)
+	if err != nil {
+		return err
+	}
+	q, err := ltl.Parse(*spec)
+	if err != nil {
+		return err
+	}
+	var m core.Mode
+	switch *mode {
+	case "opt":
+		m = core.Optimized
+	case "scan":
+		m = core.Unoptimized
+	default:
+		return fmt.Errorf("query: unknown -mode %q", *mode)
+	}
+	res, err := db.QueryMode(q, m)
+	if err != nil {
+		return err
+	}
+	for _, c := range res.Matches {
+		fmt.Println(c.Name)
+	}
+	fmt.Fprintf(os.Stderr, "%d/%d contracts permit the query (%d candidates after prefilter, %v)\n",
+		res.Stats.Permitted, res.Stats.Total, res.Stats.Candidates,
+		res.Stats.Elapsed().Round(time.Microsecond))
+	return nil
+}
+
+func cmdShow(args []string) error {
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	dbPath := fs.String("db", "", "database file")
+	name := fs.String("name", "", "contract to dump (omit to list all)")
+	dot := fs.Bool("dot", false, "dump the automaton in Graphviz dot format")
+	fs.Parse(args)
+	if *dbPath == "" {
+		return fmt.Errorf("show: -db is required")
+	}
+	db, err := loadDB(*dbPath)
+	if err != nil {
+		return err
+	}
+	if *name == "" {
+		for _, c := range db.Contracts() {
+			fmt.Printf("%-20s %4d states %6d transitions  events=%s\n",
+				c.Name, c.Automaton().NumStates(), c.Automaton().NumEdges(),
+				c.Events().Format(db.Vocabulary()))
+		}
+		return nil
+	}
+	c, ok := db.ByName(*name)
+	if !ok {
+		return fmt.Errorf("show: no contract named %q", *name)
+	}
+	fmt.Printf("spec: %s\n", c.Spec)
+	if *dot {
+		fmt.Print(c.Automaton().Dot(db.Vocabulary(), c.Name))
+	} else {
+		fmt.Print(c.Automaton().EncodeString(db.Vocabulary()))
+	}
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	dbPath := fs.String("db", "", "database file")
+	fs.Parse(args)
+	if *dbPath == "" {
+		return fmt.Errorf("stats: -db is required")
+	}
+	db, err := loadDB(*dbPath)
+	if err != nil {
+		return err
+	}
+	rs := db.RegistrationStats()
+	states, edges := 0, 0
+	for _, c := range db.Contracts() {
+		states += c.Automaton().NumStates()
+		edges += c.Automaton().NumEdges()
+	}
+	fmt.Printf("contracts:           %d\n", rs.Contracts)
+	fmt.Printf("vocabulary:          %d events\n", db.Vocabulary().Len())
+	fmt.Printf("automata:            %d states, %d transitions in total\n", states, edges)
+	fmt.Printf("prefilter index:     %d nodes, %d KB\n", rs.IndexNodes, rs.IndexBytes/1024)
+	fmt.Printf("projection subsets:  %d precomputed\n", rs.ProjectionRows)
+	return nil
+}

@@ -1,0 +1,93 @@
+// Command ctdbd serves a contract database over HTTP — the online
+// broker deployment of the paper's system. It loads (or creates) a
+// database snapshot, serves the JSON API of internal/server, and
+// persists the snapshot after every successful registration.
+//
+//	ctdbd -db fares.ctdb -addr :8080 [-events purchase,use,...]
+//
+// Example session:
+//
+//	curl -s localhost:8080/v1/health
+//	curl -s -X POST localhost:8080/v1/contracts \
+//	     -d '{"name":"NoRefunds","spec":"G(!refund)"}'
+//	curl -s -X POST localhost:8080/v1/query -d '{"spec":"F refund"}'
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"contractdb/internal/core"
+	"contractdb/internal/server"
+	"contractdb/internal/vocab"
+)
+
+func main() {
+	dbPath := flag.String("db", "", "database snapshot file (created if missing)")
+	addr := flag.String("addr", ":8080", "listen address")
+	events := flag.String("events", "", "comma-separated vocabulary for a fresh database")
+	flag.Parse()
+	if *dbPath == "" {
+		fmt.Fprintln(os.Stderr, "ctdbd: -db is required")
+		os.Exit(2)
+	}
+
+	db, err := openOrCreate(*dbPath, *events)
+	if err != nil {
+		log.Fatalf("ctdbd: %v", err)
+	}
+	srv := server.New(db)
+	srv.Persist = func(db *core.DB) error { return save(db, *dbPath) }
+
+	log.Printf("ctdbd: serving %d contracts on %s (db: %s)", db.Len(), *addr, *dbPath)
+	if err := srv.ListenAndServe(*addr); err != nil {
+		log.Fatalf("ctdbd: %v", err)
+	}
+}
+
+func openOrCreate(path, events string) (*core.DB, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		var names []string
+		if events != "" {
+			names = strings.Split(events, ",")
+		}
+		voc, err := vocab.FromNames(names...)
+		if err != nil {
+			return nil, err
+		}
+		db := core.NewDB(voc, core.Options{})
+		if err := save(db, path); err != nil {
+			return nil, err
+		}
+		log.Printf("ctdbd: created new database %s with %d events", path, voc.Len())
+		return db, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.Load(f)
+}
+
+func save(db *core.DB, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := db.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

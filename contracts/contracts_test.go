@@ -1,0 +1,140 @@
+package contracts_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"contractdb/contracts"
+)
+
+func newAirfareBroker(t *testing.T) *contracts.Broker {
+	t.Helper()
+	broker, err := contracts.NewBroker([]string{
+		"purchase", "use", "missedFlight", "refund", "dateChange", "classUpgrade",
+	}, contracts.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	common := []string{
+		"G(purchase -> !use && !missedFlight && !refund && !dateChange)",
+		"G(use -> !purchase && !missedFlight && !refund && !dateChange)",
+		"G(missedFlight -> !purchase && !use && !refund && !dateChange)",
+		"G(refund -> !purchase && !use && !missedFlight && !dateChange)",
+		"G(dateChange -> !purchase && !use && !missedFlight && !refund)",
+		"G(purchase -> X(!F purchase))",
+		"purchase B (use || missedFlight || refund || dateChange)",
+		"(missedFlight -> !F use) W dateChange",
+		"G(refund -> X(!F(use || missedFlight || refund || dateChange)))",
+		"G(use -> X(!F(use || missedFlight || refund || dateChange)))",
+	}
+	register := func(name string, specific ...string) {
+		clauses := make([]*contracts.Formula, 0, len(common)+len(specific))
+		for _, s := range append(append([]string{}, common...), specific...) {
+			clauses = append(clauses, contracts.MustParseLTL(s))
+		}
+		if _, err := broker.Register(name, contracts.Conjoin(clauses...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	register("TicketA", "G(dateChange -> !F refund)")
+	register("TicketB", "G(missedFlight -> !F dateChange)")
+	register("TicketC", "G(!refund)", "G(dateChange -> X(!F dateChange))", "G(missedFlight -> !F dateChange)")
+	return broker
+}
+
+func matchNames(res *contracts.Result) map[string]bool {
+	out := map[string]bool{}
+	for _, c := range res.Matches {
+		out[c.Name] = true
+	}
+	return out
+}
+
+// TestPublicAPIEndToEnd runs the README scenario exclusively through
+// the exported surface.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	broker := newAirfareBroker(t)
+	if broker.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", broker.Len())
+	}
+	res, err := broker.QueryLTL("F(missedFlight && X F(refund || dateChange))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := matchNames(res)
+	if !got["TicketA"] || !got["TicketB"] || got["TicketC"] {
+		t.Errorf("matches = %v, want TicketA and TicketB", got)
+	}
+	// Under-specification semantics: nobody cites classUpgrade.
+	res, err = broker.QueryLTL("F(dateChange && X F classUpgrade)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 0 {
+		t.Errorf("under-specified contracts must not match: %v", matchNames(res))
+	}
+}
+
+func TestQueryModeAgreement(t *testing.T) {
+	broker := newAirfareBroker(t)
+	q := contracts.MustParseLTL("F(missedFlight && X F refund)")
+	opt, err := broker.QueryMode(q, contracts.Optimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := broker.QueryMode(q, contracts.Unoptimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := matchNames(opt), matchNames(plain)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Errorf("optimized %v != unoptimized %v", a, b)
+	}
+	if opt.Stats.Candidates >= plain.Stats.Candidates && plain.Stats.Candidates == broker.Len() && opt.Stats.Candidates == broker.Len() {
+		t.Log("note: prefilter found no pruning opportunity on this query")
+	}
+}
+
+func TestSaveLoadPublic(t *testing.T) {
+	broker := newAirfareBroker(t)
+	var buf bytes.Buffer
+	if err := broker.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	again, err := contracts.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := again.QueryLTL("F(dateChange && X F(classUpgrade || refund))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := matchNames(res)
+	if !got["TicketB"] || len(got) != 1 {
+		t.Errorf("Q3 after reload = %v, want TicketB only", got)
+	}
+}
+
+func TestParseErrorsSurface(t *testing.T) {
+	if _, err := contracts.ParseLTL("p &&"); err == nil {
+		t.Error("ParseLTL must report syntax errors")
+	}
+	broker, err := contracts.NewBroker(nil, contracts.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := broker.QueryLTL(")("); err == nil {
+		t.Error("QueryLTL must report syntax errors")
+	}
+}
+
+func TestVocabularyLimit(t *testing.T) {
+	events := make([]string, contracts.MaxEvents+1)
+	for i := range events {
+		events[i] = fmt.Sprintf("e%d", i)
+	}
+	if _, err := contracts.NewBroker(events, contracts.Options{}); err == nil {
+		t.Errorf("vocabulary beyond %d events must be rejected", contracts.MaxEvents)
+	}
+}

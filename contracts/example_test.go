@@ -1,0 +1,72 @@
+package contracts_test
+
+import (
+	"fmt"
+	"log"
+
+	"contractdb/contracts"
+)
+
+// ExampleBroker registers two airfares and runs the paper's
+// introductory query against them.
+func Example() {
+	broker, err := contracts.NewBroker([]string{
+		"purchase", "use", "missedFlight", "refund", "dateChange",
+	}, contracts.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Ticket A: no refunds after date changes (date changes unlimited).
+	if _, err := broker.RegisterLTL("TicketA", "G(dateChange -> !F refund)"); err != nil {
+		log.Fatal(err)
+	}
+	// Ticket C: no refunds at all, at most one date change.
+	if _, err := broker.RegisterLTL("TicketC",
+		"G(!refund) && G(dateChange -> X(!F dateChange))"); err != nil {
+		log.Fatal(err)
+	}
+
+	// "Can the flight be rescheduled twice?" — Ticket A allows
+	// unlimited changes; Ticket C allows only one. (A query about
+	// missedFlight would match neither: these stand-alone clauses
+	// never cite that event, and permission is restricted to the
+	// events a contract mentions.)
+	res, err := broker.QueryLTL("F(dateChange && X F dateChange)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range res.Matches {
+		fmt.Println(c.Name)
+	}
+	// Output:
+	// TicketA
+}
+
+// ExampleBroker_QueryMode compares the optimized evaluation against
+// the unoptimized scan; both return the same matches.
+func ExampleBroker_queryMode() {
+	broker, err := contracts.NewBroker([]string{"refund", "dateChange"}, contracts.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := broker.RegisterLTL("NoRefunds", "G !refund"); err != nil {
+		log.Fatal(err)
+	}
+	q := contracts.MustParseLTL("F refund")
+	opt, _ := broker.QueryMode(q, contracts.Optimized)
+	scan, _ := broker.QueryMode(q, contracts.Unoptimized)
+	fmt.Println(len(opt.Matches), len(scan.Matches))
+	// Output:
+	// 0 0
+}
+
+// ExampleParseLTL shows the surface syntax round trip.
+func ExampleParseLTL() {
+	f, err := contracts.ParseLTL("G(purchase -> X(!F purchase))")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(f)
+	// Output:
+	// G (purchase -> X !F purchase)
+}

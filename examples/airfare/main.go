@@ -1,0 +1,179 @@
+// Airfare models a small broker for round-trip tickets, the scenario
+// the paper's introduction motivates (Example 1: fare rules with
+// interacting reschedule/refund/no-show conditions). It registers a
+// fleet of fare classes over a richer vocabulary than the quickstart
+// — two flight legs, reissue, voluntary rerouting, no-show — runs a
+// set of realistic customer queries, and demonstrates persisting the
+// fully-indexed database to disk and reloading it.
+//
+// Run with:
+//
+//	go run ./examples/airfare
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"contractdb/contracts"
+)
+
+var vocabulary = []string{
+	"purchase", "useFirst", "useSecond", "noShow",
+	"requestChange", "changeApproved", "reissue",
+	"refundFull", "refundPartial", "cancel",
+}
+
+// Domain axioms every fare shares: event exclusivity per instant,
+// purchase first and once, legs flown in order and at most once, a
+// change must be requested before it is approved, full refunds
+// terminate the contract.
+var axioms = []string{
+	// one event per snapshot (abbreviated: pairwise exclusion of the
+	// events that interact in the queries below)
+	"G(purchase -> !useFirst && !useSecond && !refundFull && !refundPartial && !cancel)",
+	"G(useFirst -> !purchase && !useSecond && !refundFull && !refundPartial && !cancel)",
+	"G(useSecond -> !purchase && !useFirst && !refundFull && !refundPartial && !cancel)",
+	"G(refundFull -> !refundPartial && !cancel)",
+	// lifecycle
+	"G(purchase -> X(!F purchase))",
+	"purchase B (useFirst || useSecond || noShow || requestChange || refundFull || refundPartial || cancel)",
+	"useFirst B useSecond",            // legs in order
+	"G(useFirst -> X(!F useFirst))",   // each leg at most once
+	"G(useSecond -> X(!F useSecond))", //
+	"requestChange B changeApproved",  // approval needs a request
+	"G(refundFull -> X(G(!useFirst && !useSecond && !refundFull && !refundPartial)))",
+}
+
+type fare struct {
+	name    string
+	desc    string
+	clauses []string
+}
+
+var fares = []fare{
+	{
+		name: "ECON-BASIC",
+		desc: "basic economy: no changes, no refunds, no-show forfeits",
+		clauses: []string{
+			"G(!changeApproved)",
+			"G(!refundFull && !refundPartial)",
+			"G(noShow -> !F(useFirst || useSecond))",
+		},
+	},
+	{
+		name: "ECON-FLEX",
+		desc: "flex economy: one approved change before the first leg; partial refund until first leg",
+		clauses: []string{
+			"G(changeApproved -> X(!F changeApproved))",
+			"G(useFirst -> !F changeApproved)",
+			"G(useFirst -> !F refundPartial)",
+			"G(!refundFull)",
+		},
+	},
+	{
+		name: "BUSINESS",
+		desc: "business: unlimited changes, full refund before first leg, partial after",
+		clauses: []string{
+			"G(useFirst -> !F refundFull)",
+		},
+	},
+	{
+		name: "BUSINESS-CORP",
+		desc: "corporate business: like business, plus reissue after no-show",
+		clauses: []string{
+			"G(useFirst -> !F refundFull)",
+			"G(noShow -> F(reissue || cancel))",
+		},
+	},
+	{
+		name: "AWARD",
+		desc: "award ticket: changes only by reissue; refund only as cancellation credit",
+		clauses: []string{
+			"G(!changeApproved)",
+			"G(!refundFull && !refundPartial)",
+			"G(noShow -> (!useFirst && !useSecond) W reissue)",
+		},
+	},
+}
+
+type query struct {
+	text string
+	ltl  string
+}
+
+var queries = []query{
+	{
+		"a change can be approved even after a no-show",
+		"F(noShow && X F changeApproved)",
+	},
+	{
+		"some refund is available after the first leg is flown",
+		"F(useFirst && X F(refundFull || refundPartial))",
+	},
+	{
+		"a full refund is possible at some point",
+		"F refundFull",
+	},
+	{
+		"after a no-show the ticket can still be reissued and the second leg flown",
+		"F(noShow && X F(reissue && X F useSecond))",
+	},
+	{
+		"two changes can be approved on one ticket",
+		"F(changeApproved && X F changeApproved)",
+	},
+}
+
+func main() {
+	broker, err := contracts.NewBroker(vocabulary, contracts.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range fares {
+		all := make([]*contracts.Formula, 0, len(axioms)+len(f.clauses))
+		for _, src := range append(append([]string{}, axioms...), f.clauses...) {
+			all = append(all, contracts.MustParseLTL(src))
+		}
+		c, err := broker.Register(f.name, contracts.Conjoin(all...))
+		if err != nil {
+			log.Fatalf("register %s: %v", f.name, err)
+		}
+		fmt.Printf("registered %-13s (%2d automaton states) — %s\n",
+			c.Name, c.Automaton().NumStates(), f.desc)
+	}
+
+	fmt.Println()
+	for _, q := range queries {
+		res, err := broker.QueryLTL(q.ltl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("query: %s\n", q.text)
+		fmt.Printf("  %d/%d candidates after prefilter, %d matched in %v:",
+			res.Stats.Candidates, res.Stats.Total, res.Stats.Permitted,
+			res.Stats.Elapsed().Round(1000))
+		for _, c := range res.Matches {
+			fmt.Printf(" %s", c.Name)
+		}
+		fmt.Println()
+	}
+
+	// Persist the fully indexed broker and reload it — registration is
+	// the expensive step, so production deployments snapshot it.
+	var snapshot bytes.Buffer
+	if err := broker.Save(&snapshot); err != nil {
+		log.Fatal(err)
+	}
+	reloaded, err := contracts.Load(bytes.NewReader(snapshot.Bytes()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := reloaded.QueryLTL(queries[0].ltl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsnapshot: %d bytes; reloaded broker answers query 1 with %d matches (same as before)\n",
+		snapshot.Len(), len(res.Matches))
+}

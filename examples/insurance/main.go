@@ -1,0 +1,140 @@
+// Insurance models a broker for insurance policies — the paper's
+// second motivating market ("airfares, insurances, warranties"). It
+// shows how the permission semantics handles under-specified
+// contracts (Definition 1): a policy that says nothing about
+// reinstatement never matches a reinstatement query, even though its
+// clauses would not forbid one.
+//
+// Run with:
+//
+//	go run ./examples/insurance
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"contractdb/contracts"
+)
+
+var vocabulary = []string{
+	"enroll", "premiumPaid", "premiumMissed",
+	"claimFiled", "claimPaid", "claimDenied",
+	"cancel", "lapse", "reinstate",
+}
+
+// Shared lifecycle axioms: enrollment first and once; a claim is paid
+// or denied only after it is filed; a lapse follows a missed premium;
+// cancellation ends everything.
+// Note that the axioms deliberately do not mention 'reinstate': only
+// policies that actually offer reinstatement cite the event, which is
+// what the under-specification semantics keys on.
+var axioms = []string{
+	"G(enroll -> X(!F enroll))",
+	"enroll B (premiumPaid || premiumMissed || claimFiled || cancel || lapse)",
+	"claimFiled B (claimPaid || claimDenied)",
+	"premiumMissed B lapse",
+	"G(cancel -> X(G(!premiumPaid && !claimFiled && !claimPaid)))",
+}
+
+type policy struct {
+	name    string
+	desc    string
+	clauses []string
+}
+
+var policies = []policy{
+	{
+		name: "TERM-STRICT",
+		desc: "strict term policy: a missed premium lapses it for good; no reinstatement is offered",
+		clauses: []string{
+			"G(premiumMissed -> F lapse)",
+			"G(lapse -> G(!claimPaid))",
+			// The policy never cites 'reinstate' — deliberately.
+		},
+	},
+	{
+		name: "TERM-GRACE",
+		desc: "term policy with a grace period: after a lapse, reinstatement is possible and claims resume",
+		clauses: []string{
+			"G(premiumMissed -> F(lapse || premiumPaid))",
+			"G(lapse -> (!claimPaid W reinstate))",
+			"G(reinstate -> F premiumPaid)",
+		},
+	},
+	{
+		name: "PREMIER",
+		desc: "premier policy: claims are always eventually decided, never denied after a paid year",
+		clauses: []string{
+			"G(claimFiled -> F(claimPaid || claimDenied))",
+			"G(premiumPaid -> (!claimDenied W premiumMissed))",
+			"G(!lapse)",
+		},
+	},
+	{
+		name: "NO-CLAIMS",
+		desc: "accident-forgiveness rider: after a denied claim the customer may cancel with refund of the period",
+		clauses: []string{
+			"G(claimDenied -> F cancel)",
+			"G(!lapse)",
+		},
+	},
+}
+
+func main() {
+	broker, err := contracts.NewBroker(vocabulary, contracts.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range policies {
+		all := make([]*contracts.Formula, 0, len(axioms)+len(p.clauses))
+		for _, src := range append(append([]string{}, axioms...), p.clauses...) {
+			all = append(all, contracts.MustParseLTL(src))
+		}
+		if _, err := broker.Register(p.name, contracts.Conjoin(all...)); err != nil {
+			log.Fatalf("register %s: %v", p.name, err)
+		}
+		fmt.Printf("registered %-12s — %s\n", p.name, p.desc)
+	}
+
+	fmt.Println("\n--- customer queries ---")
+	run := func(text, src string) {
+		res, err := broker.QueryLTL(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%q\n  LTL: %s\n  matches:", text, src)
+		if len(res.Matches) == 0 {
+			fmt.Print(" none")
+		}
+		for _, c := range res.Matches {
+			fmt.Printf(" %s", c.Name)
+		}
+		fmt.Printf("\n  (prefilter kept %d/%d)\n", res.Stats.Candidates, res.Stats.Total)
+	}
+
+	// TERM-STRICT's clauses would not *contradict* a reinstatement, but
+	// the policy never cites the event, so the permission semantics
+	// excludes it — the paper's answer to under-specified contracts.
+	run("can the policy be reinstated after it lapses?",
+		"F(lapse && X F reinstate)")
+
+	run("can a claim still be paid after reinstatement?",
+		"F(reinstate && X F claimPaid)")
+
+	run("is a claim ever guaranteed a decision? (filed, later paid or denied)",
+		"F(claimFiled && X F(claimPaid || claimDenied))")
+
+	run("can the customer cancel after a denied claim?",
+		"F(claimDenied && X F cancel)")
+
+	// Demonstrate what the under-specification rule prevents: the
+	// naive semantics would return TERM-STRICT for the reinstatement
+	// query because no clause forbids the event.
+	fmt.Println("\n--- why TERM-STRICT is excluded ---")
+	c, _ := broker.ByName("TERM-STRICT")
+	voc := broker.Vocabulary()
+	fmt.Printf("TERM-STRICT cites events %s;\n'reinstate' is not among them, "+
+		"so by Definition 1 no run of the contract may use it.\n",
+		c.Events().Format(voc))
+}

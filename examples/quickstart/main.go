@@ -1,0 +1,112 @@
+// Quickstart reproduces the paper's running example (Examples 1-5):
+// three airfare contracts with different refund/reschedule policies
+// are registered in a broker, and the introduction's customer query —
+// "allows a partial ticket refund or a date change after the first
+// leg has been missed" — is evaluated against them.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"contractdb/contracts"
+)
+
+// The common clauses C0-C5 of Example 5: domain axioms shared by all
+// airfares (one event per instant, a ticket is purchased once and
+// before anything else, refund/use terminate the contract, a missed
+// flight makes the ticket unusable unless rescheduled).
+var commonClauses = []string{
+	"G(purchase -> !use && !missedFlight && !refund && !dateChange)",
+	"G(use -> !purchase && !missedFlight && !refund && !dateChange)",
+	"G(missedFlight -> !purchase && !use && !refund && !dateChange)",
+	"G(refund -> !purchase && !use && !missedFlight && !dateChange)",
+	"G(dateChange -> !purchase && !use && !missedFlight && !refund)",
+	"G(purchase -> X(!F purchase))",
+	"purchase B (use || missedFlight || refund || dateChange)",
+	"(missedFlight -> !F use) W dateChange",
+	"G(refund -> X(!F(use || missedFlight || refund || dateChange)))",
+	"G(use -> X(!F(use || missedFlight || refund || dateChange)))",
+}
+
+// The ticket-specific clauses of Example 2 in LTL (Example 5).
+var tickets = []struct {
+	name     string
+	policy   string
+	specific []string
+}{
+	{
+		name:     "TicketA",
+		policy:   "no refunds after date changes; unlimited date changes",
+		specific: []string{"G(dateChange -> !F refund)"},
+	},
+	{
+		name:     "TicketB",
+		policy:   "refunds always allowed; date changes only before departure",
+		specific: []string{"G(missedFlight -> !F dateChange)"},
+	},
+	{
+		name:   "TicketC",
+		policy: "no refunds; one date change, only before departure",
+		specific: []string{
+			"G(!refund)",
+			"G(dateChange -> X(!F dateChange))",
+			"G(missedFlight -> !F dateChange)",
+		},
+	},
+}
+
+func main() {
+	broker, err := contracts.NewBroker([]string{
+		"purchase", "use", "missedFlight", "refund", "dateChange", "classUpgrade",
+	}, contracts.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, tk := range tickets {
+		clauses := make([]*contracts.Formula, 0, len(commonClauses)+len(tk.specific))
+		for _, src := range append(append([]string{}, commonClauses...), tk.specific...) {
+			clauses = append(clauses, contracts.MustParseLTL(src))
+		}
+		if _, err := broker.Register(tk.name, contracts.Conjoin(clauses...)); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("registered %-8s — %s\n", tk.name, tk.policy)
+	}
+
+	queries := []struct{ text, ltl string }{
+		{
+			"refund or date change after a missed flight",
+			"F(missedFlight && X F(refund || dateChange))",
+		},
+		{
+			"class upgrade after a date change (Example 4: nobody cites classUpgrade)",
+			"F(dateChange && X F classUpgrade)",
+		},
+		{
+			"after a date change, class upgrade OR refund (Q3)",
+			"F(dateChange && X F(classUpgrade || refund))",
+		},
+	}
+	for _, q := range queries {
+		res, err := broker.QueryLTL(q.ltl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nquery: %s\n  LTL: %s\n", q.text, q.ltl)
+		if len(res.Matches) == 0 {
+			fmt.Println("  no contract permits this query")
+			continue
+		}
+		for _, c := range res.Matches {
+			fmt.Printf("  permitted by %s\n", c.Name)
+		}
+		fmt.Printf("  (%d/%d contracts survived the prefilter; total %v)\n",
+			res.Stats.Candidates, res.Stats.Total, res.Stats.Elapsed().Round(1000))
+	}
+}

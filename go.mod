@@ -1,0 +1,3 @@
+module contractdb
+
+go 1.24

@@ -1,0 +1,255 @@
+// Package bisim implements bisimulation-based state reduction of Büchi
+// automata and the projection machinery of the paper's second
+// optimization (§5, §6.3).
+//
+// Two states are bisimilar (Definition 9) when they agree on finality
+// and can mimic each other's labeled transitions into bisimilar
+// states. Collapsing bisimilar states preserves the automaton's paths
+// label-for-label (Theorem 8) and therefore preserves the existence of
+// simultaneous lasso paths (Theorem 9). Projecting labels onto the
+// event subset a query cites makes previously distinct transitions
+// identical, which is what gives the quotient its leverage: the fewer
+// events a query mentions, the smaller the automaton the permission
+// checker has to explore.
+package bisim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+
+	"contractdb/internal/buchi"
+	"contractdb/internal/vocab"
+)
+
+// Partition assigns each state of an automaton a class index. Classes
+// are dense, 0-based, and normalized so that classes are numbered by
+// first occurrence in state order, making Partition values comparable
+// with Key.
+type Partition struct {
+	Class []int
+	Count int
+}
+
+// Key returns a canonical string for the partition, used to detect
+// that different event subsets induce the same simplification (§5.2
+// observes only ~5% of subsets are distinct).
+func (p Partition) Key() string {
+	var b strings.Builder
+	for i, c := range p.Class {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", c)
+	}
+	return b.String()
+}
+
+// normalize renumbers classes by first occurrence.
+func normalize(class []int) Partition {
+	remap := make(map[int]int)
+	out := make([]int, len(class))
+	for i, c := range class {
+		nc, ok := remap[c]
+		if !ok {
+			nc = len(remap)
+			remap[c] = nc
+		}
+		out[i] = nc
+	}
+	return Partition{Class: out, Count: len(remap)}
+}
+
+// Coarsest computes the coarsest bisimulation partition of a with
+// labels considered as-is. The initial partition separates final from
+// non-final states (as in Hopcroft's DFA minimization, adapted per the
+// paper §5.3).
+func Coarsest(a *buchi.BA) Partition {
+	return CoarsestProjected(a, ^vocab.Set(0))
+}
+
+// CoarsestProjected computes the coarsest bisimulation partition of a
+// when every label is first projected onto the event set keep. Passing
+// the full event set yields plain bisimulation.
+func CoarsestProjected(a *buchi.BA, keep vocab.Set) Partition {
+	initial := make([]int, a.NumStates())
+	for s, f := range a.Final {
+		if f {
+			initial[s] = 1
+		}
+	}
+	return RefineProjected(a, Partition{Class: initial, Count: 2}, keep)
+}
+
+// RefineProjected refines a starting partition until it is the
+// coarsest bisimulation partition (w.r.t. keep-projected labels) that
+// refines the start. Per Theorem 3, the partition for a superset of
+// literals refines the partition for a subset, so callers walking the
+// subset lattice seed each refinement with an already-computed coarser
+// partition and skip the early rounds.
+//
+// The start partition must itself separate final from non-final
+// states; the partitions produced by this package always do.
+func RefineProjected(a *buchi.BA, start Partition, keep vocab.Set) Partition {
+	n := a.NumStates()
+	if n == 0 {
+		return Partition{}
+	}
+	// Normalize so count reflects the classes actually present; the
+	// stability test below compares against it.
+	norm := normalize(start.Class)
+	class, count := norm.Class, norm.Count
+	// Iteratively split classes by transition signature until stable.
+	// The signature of a state is its set of (projected label, target
+	// class) pairs; bisimilar states must have equal signatures.
+	// Signatures are binary-encoded into a reusable buffer to keep the
+	// refinement loop allocation-light.
+	var pairs tripleSlice
+	var buf []byte
+	newClass := make([]int, n)
+	for {
+		next := make(map[string]int, count)
+		for s := 0; s < n; s++ {
+			pairs = pairs[:0]
+			for _, e := range a.Out[s] {
+				l := e.Label.Project(keep)
+				pairs = append(pairs, [3]uint64{uint64(l.Pos), uint64(l.Neg), uint64(class[e.To])})
+			}
+			pairs.sort()
+			buf = binary.LittleEndian.AppendUint64(buf[:0], uint64(class[s]))
+			last := [3]uint64{^uint64(0), ^uint64(0), ^uint64(0)}
+			for _, p := range pairs {
+				if p == last {
+					continue // signatures are sets: drop duplicates
+				}
+				last = p
+				buf = binary.LittleEndian.AppendUint64(buf, p[0])
+				buf = binary.LittleEndian.AppendUint64(buf, p[1])
+				buf = binary.LittleEndian.AppendUint64(buf, p[2])
+			}
+			c, ok := next[string(buf)]
+			if !ok {
+				c = len(next)
+				next[string(buf)] = c
+			}
+			newClass[s] = c
+		}
+		if len(next) == count {
+			return normalize(newClass)
+		}
+		copy(class, newClass)
+		count = len(next)
+	}
+}
+
+// tripleSlice sorts (Pos, Neg, class) signature triples without the
+// reflection overhead of sort.Slice; out-degrees are small, so an
+// insertion sort wins below a threshold.
+type tripleSlice [][3]uint64
+
+func (t tripleSlice) Len() int      { return len(t) }
+func (t tripleSlice) Swap(i, j int) { t[i], t[j] = t[j], t[i] }
+func (t tripleSlice) Less(i, j int) bool {
+	if t[i][2] != t[j][2] {
+		return t[i][2] < t[j][2]
+	}
+	if t[i][0] != t[j][0] {
+		return t[i][0] < t[j][0]
+	}
+	return t[i][1] < t[j][1]
+}
+
+func (t tripleSlice) sort() {
+	if len(t) <= 24 {
+		for i := 1; i < len(t); i++ {
+			for j := i; j > 0 && t.Less(j, j-1); j-- {
+				t[j], t[j-1] = t[j-1], t[j]
+			}
+		}
+		return
+	}
+	sort.Sort(t)
+}
+
+// Quotient materializes the quotient automaton of a under the
+// partition, with labels projected onto keep (Definition 10). The
+// result's Events field preserves a.Events: the permission semantics
+// restricts queries to the events the *contract* cites, regardless of
+// which events survive the projection.
+func Quotient(a *buchi.BA, p Partition, keep vocab.Set) *buchi.BA {
+	q := buchi.New(p.Count)
+	q.Init = buchi.StateID(p.Class[a.Init])
+	for s, out := range a.Out {
+		c := buchi.StateID(p.Class[s])
+		if a.Final[s] {
+			q.SetFinal(c)
+		}
+		for _, e := range out {
+			q.AddEdge(c, e.Label.Project(keep), buchi.StateID(p.Class[e.To]))
+		}
+	}
+	q.Normalize()
+	q.Events = a.Events
+	return q
+}
+
+// Reduce is the convenience used by the LTL→BA pipeline: quotient a by
+// plain bisimulation with unprojected labels, preserving the accepted
+// language exactly.
+func Reduce(a *buchi.BA) *buchi.BA {
+	p := Coarsest(a)
+	if p.Count == a.NumStates() {
+		return a
+	}
+	return Quotient(a, p, ^vocab.Set(0))
+}
+
+// CoarsestBackward computes the coarsest *backward* bisimulation
+// partition: states are equivalent when they agree on finality and
+// initiality and can mimic each other's labeled *incoming* edges from
+// equivalent sources. Quotienting by it preserves the language and
+// simultaneous-lasso existence: a quotient path backward-realizes to
+// an original path with identical labels (realizations of all finite
+// prefixes form an infinite, finitely-branching tree, so infinite runs
+// lift too), and classes are finality-uniform, so acceptance
+// transfers.
+func CoarsestBackward(a *buchi.BA) Partition {
+	n := a.NumStates()
+	rev := buchi.New(n)
+	for s, out := range a.Out {
+		for _, e := range out {
+			rev.AddEdge(e.To, e.Label, buchi.StateID(s))
+		}
+	}
+	initial := make([]int, n)
+	for s := 0; s < n; s++ {
+		c := 0
+		if a.Final[s] {
+			c |= 1
+		}
+		if buchi.StateID(s) == a.Init {
+			c |= 2
+		}
+		initial[s] = c
+	}
+	return RefineProjected(rev, Partition{Class: initial, Count: 4}, ^vocab.Set(0))
+}
+
+// ReduceBidirectional alternates forward and backward bisimulation
+// quotients until neither shrinks the automaton. Forward bisimulation
+// merges states with identical futures, backward ones with identical
+// pasts; clause-product automata typically carry both kinds of
+// redundancy.
+func ReduceBidirectional(a *buchi.BA) *buchi.BA {
+	for {
+		before := a.NumStates()
+		a = Reduce(a)
+		if bp := CoarsestBackward(a); bp.Count < a.NumStates() {
+			a = Quotient(a, bp, ^vocab.Set(0))
+		}
+		if a.NumStates() == before {
+			return a
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package bisim
+
+import (
+	"fmt"
+
+	"contractdb/internal/buchi"
+	"contractdb/internal/vocab"
+)
+
+// ProjectionSnapshot is the serializable form of a ProjectionSet: the
+// per-subset partition tables, exactly the "list of bisimilar states"
+// representation §5.2 proposes for storage. Quotients are rebuilt
+// lazily after import.
+type ProjectionSnapshot struct {
+	MaxSubset int
+	Parts     map[vocab.Set][]int
+}
+
+// Export captures the precomputed partitions.
+func (ps *ProjectionSet) Export() ProjectionSnapshot {
+	s := ProjectionSnapshot{MaxSubset: ps.MaxSubset, Parts: make(map[vocab.Set][]int, len(ps.parts))}
+	for set, p := range ps.parts {
+		s.Parts[set] = append([]int(nil), p.Class...)
+	}
+	return s
+}
+
+// ImportProjections rebuilds a ProjectionSet for auto from a
+// snapshot. Partition tables identical across subsets are re-shared.
+func ImportProjections(auto *buchi.BA, s ProjectionSnapshot) (*ProjectionSet, error) {
+	ps := &ProjectionSet{
+		Auto:      auto,
+		MaxSubset: s.MaxSubset,
+		parts:     make(map[vocab.Set]*Partition, len(s.Parts)),
+		quotients: make(map[vocab.Set]*buchi.BA),
+	}
+	for _, out := range auto.Out {
+		for _, e := range out {
+			ps.labelEvents = ps.labelEvents.Union(e.Label.Vars())
+		}
+	}
+	dedup := make(map[string]*Partition)
+	for set, class := range s.Parts {
+		if len(class) != auto.NumStates() {
+			return nil, fmt.Errorf("bisim: partition for %s has %d entries, automaton has %d states",
+				set, len(class), auto.NumStates())
+		}
+		p := normalize(class)
+		key := p.Key()
+		shared, ok := dedup[key]
+		if !ok {
+			cp := p
+			shared = &cp
+			dedup[key] = shared
+		}
+		ps.parts[set] = shared
+	}
+	ps.PrecomputedSubsets = len(ps.parts)
+	ps.DistinctPartitions = len(dedup)
+	return ps, nil
+}

@@ -1,0 +1,208 @@
+package bisim
+
+import (
+	"sort"
+
+	"contractdb/internal/buchi"
+	"contractdb/internal/vocab"
+)
+
+// ProjectionSet holds the precomputed simplifications of one contract
+// automaton (paper §5.2). For every subset S of the contract's events
+// up to size MaxSubset, it stores the coarsest bisimulation partition
+// of the automaton with labels projected onto S. Partitions — not
+// quotient automata — are stored, as the paper suggests ("we can just
+// memorize the list of bisimilar states for a particular projection");
+// quotients are materialized lazily and cached.
+//
+// Subsets larger than MaxSubset fall back to an on-demand computation,
+// also cached, so correctness never depends on the precomputation
+// budget (§5.2: limiting precomputation "would affect the evaluation
+// performance of queries with more than k literals", not their
+// answers).
+//
+// A ProjectionSet is not safe for concurrent use; the broker engine
+// serializes access.
+type ProjectionSet struct {
+	Auto      *buchi.BA
+	MaxSubset int
+
+	// labelEvents is the set of events actually occurring in labels.
+	// Projections depend only on S ∩ labelEvents: events a contract
+	// cites but whose literals were simplified away cannot affect any
+	// label, so the subset lattice is enumerated over labelEvents
+	// only. This is §5.3's "generate and consider only those subsets
+	// of literals that could result in a split".
+	labelEvents vocab.Set
+
+	parts     map[vocab.Set]*Partition
+	quotients map[vocab.Set]*buchi.BA
+
+	// DistinctPartitions counts unique partitions among the
+	// precomputed subsets, reproducing the paper's ~5% observation.
+	DistinctPartitions int
+	PrecomputedSubsets int
+}
+
+// Precompute runs the lattice-ordered refinement of §5.3: subsets are
+// processed smallest-first, and each subset's refinement is seeded
+// with the partition of one of its immediate sub-subsets, which by
+// Theorem 3 is a coarser partition of the same states. Identical
+// partitions are shared.
+func Precompute(a *buchi.BA, maxSubset int) *ProjectionSet {
+	ps := &ProjectionSet{
+		Auto:      a,
+		MaxSubset: maxSubset,
+		parts:     make(map[vocab.Set]*Partition),
+		quotients: make(map[vocab.Set]*buchi.BA),
+	}
+	for _, out := range a.Out {
+		for _, e := range out {
+			ps.labelEvents = ps.labelEvents.Union(e.Label.Vars())
+		}
+	}
+	events := ps.labelEvents.IDs()
+	if maxSubset > len(events) {
+		maxSubset = len(events)
+		ps.MaxSubset = maxSubset
+	}
+
+	dedup := make(map[string]*Partition)
+	intern := func(p Partition) *Partition {
+		key := p.Key()
+		if shared, ok := dedup[key]; ok {
+			return shared
+		}
+		cp := p
+		dedup[key] = &cp
+		return &cp
+	}
+
+	// The finest partition any subset can reach is the one for the
+	// full label set. Once a subset's partition saturates to it, every
+	// superset's partition is sandwiched between the two (Theorem 3)
+	// and must be equal — no refinement needed.
+	full := intern(CoarsestProjected(a, ps.labelEvents))
+
+	empty := CoarsestProjected(a, 0)
+	ps.parts[0] = intern(empty)
+
+	subsets := []vocab.Set{0}
+	for size := 1; size <= maxSubset; size++ {
+		var nextSubsets []vocab.Set
+		for _, sub := range subsets {
+			// Extend sub by one event greater than its maximum, so each
+			// subset is generated exactly once.
+			start := 0
+			if !sub.IsEmpty() {
+				ids := sub.IDs()
+				start = int(ids[len(ids)-1]) + 1
+			}
+			seed := ps.parts[sub]
+			for _, e := range events {
+				if int(e) < start {
+					continue
+				}
+				s := sub.With(e)
+				if seed == full {
+					ps.parts[s] = full
+				} else {
+					ps.parts[s] = intern(RefineProjected(a, *seed, s))
+				}
+				nextSubsets = append(nextSubsets, s)
+			}
+		}
+		subsets = nextSubsets
+	}
+	ps.PrecomputedSubsets = len(ps.parts)
+	ps.DistinctPartitions = len(dedup)
+	return ps
+}
+
+// For returns the smallest simplified automaton that is equivalent to
+// the contract automaton for any query citing only the given events
+// (Theorem 9). The relevant subset is the intersection of the query's
+// events with the contract's; projecting onto exactly that subset
+// yields the best available simplification. When the subset exceeds
+// the precomputation budget, the original automaton is returned — the
+// fallback §5.2 describes: any projection containing the required
+// literals is usable, and the full automaton always qualifies (such
+// queries "mostly benefit from the complementary prefiltering
+// optimization").
+func (ps *ProjectionSet) For(queryEvents vocab.Set) *buchi.BA {
+	relevant := queryEvents.Intersect(ps.Auto.Events).Intersect(ps.labelEvents)
+	part, ok := ps.parts[relevant]
+	if !ok {
+		return ps.Auto
+	}
+	if q, ok := ps.quotients[relevant]; ok {
+		return q
+	}
+	var q *buchi.BA
+	if part.Count == ps.Auto.NumStates() && relevant == ps.Auto.Events {
+		q = ps.Auto // no reduction and no label change: reuse as-is
+	} else {
+		q = quotientFromRepresentatives(ps.Auto, *part, relevant)
+	}
+	ps.quotients[relevant] = q
+	return q
+}
+
+// quotientFromRepresentatives materializes the quotient using one
+// member per class. This is valid precisely because the partition is
+// the *coarsest forward bisimulation* for keep-projected labels: at
+// the fixpoint, all members of a class have identical (projected
+// label, target class) edge sets, so any member's edges are the
+// class's edges. Cost is O(classes · out-degree) instead of a union
+// over every member — this runs on the query path, where it matters.
+func quotientFromRepresentatives(a *buchi.BA, p Partition, keep vocab.Set) *buchi.BA {
+	q := buchi.New(p.Count)
+	q.Init = buchi.StateID(p.Class[a.Init])
+	rep := make([]int, p.Count)
+	for i := range rep {
+		rep[i] = -1
+	}
+	for s := range a.Out {
+		c := p.Class[s]
+		if rep[c] == -1 {
+			rep[c] = s
+		}
+	}
+	for c, s := range rep {
+		if a.Final[s] {
+			q.SetFinal(buchi.StateID(c))
+		}
+		for _, e := range a.Out[s] {
+			q.AddEdge(buchi.StateID(c), e.Label.Project(keep), buchi.StateID(p.Class[e.To]))
+		}
+	}
+	q.Normalize()
+	q.Events = a.Events
+	return q
+}
+
+// StorageStates returns the total number of partition entries held,
+// a proxy for the storage cost §7.4 reports (~80% of the database
+// size in the paper's measurement).
+func (ps *ProjectionSet) StorageStates() int {
+	seen := make(map[*Partition]bool)
+	total := 0
+	for _, p := range ps.parts {
+		if !seen[p] {
+			seen[p] = true
+			total += len(p.Class)
+		}
+	}
+	return total
+}
+
+// Subsets returns the precomputed event subsets in deterministic
+// order, mainly for tests and diagnostics.
+func (ps *ProjectionSet) Subsets() []vocab.Set {
+	out := make([]vocab.Set, 0, len(ps.parts))
+	for s := range ps.parts {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,157 @@
+package bitset_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"contractdb/internal/bitset"
+)
+
+func fromMembers(n int, members []int) bitset.Set {
+	s := bitset.New(n)
+	for _, m := range members {
+		s.Add(m)
+	}
+	return s
+}
+
+func TestBasics(t *testing.T) {
+	s := bitset.New(130)
+	if !s.IsEmpty() || s.Count() != 0 || s.Len() != 130 {
+		t.Fatal("fresh set not empty")
+	}
+	s.Add(0)
+	s.Add(64)
+	s.Add(129)
+	if s.Count() != 3 {
+		t.Errorf("Count = %d", s.Count())
+	}
+	for _, m := range []int{0, 64, 129} {
+		if !s.Has(m) {
+			t.Errorf("missing %d", m)
+		}
+	}
+	if s.Has(1) || s.Has(130) || s.Has(-1) {
+		t.Error("spurious membership")
+	}
+	got := s.Members()
+	want := []int{0, 64, 129}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Members = %v", got)
+		}
+	}
+}
+
+func TestAddOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Add out of range must panic")
+		}
+	}()
+	bitset.New(10).Add(10)
+}
+
+func TestAll(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 200} {
+		s := bitset.All(n)
+		if s.Count() != n {
+			t.Errorf("All(%d).Count = %d", n, s.Count())
+		}
+	}
+}
+
+func TestAlgebra(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 300; i++ {
+		n := 1 + rng.Intn(200)
+		a, b := bitset.New(n), bitset.New(n)
+		ref := map[int][2]bool{}
+		for j := 0; j < n/2; j++ {
+			x, y := rng.Intn(n), rng.Intn(n)
+			a.Add(x)
+			b.Add(y)
+			e := ref[x]
+			e[0] = true
+			ref[x] = e
+			e = ref[y]
+			e[1] = true
+			ref[y] = e
+		}
+		union := a.Union(b)
+		inter := a.Intersect(b)
+		for m, inSets := range ref {
+			if union.Has(m) != (inSets[0] || inSets[1]) {
+				t.Fatalf("union wrong at %d", m)
+			}
+			if inter.Has(m) != (inSets[0] && inSets[1]) {
+				t.Fatalf("intersect wrong at %d", m)
+			}
+		}
+		if !union.SupersetOf(a) || !union.SupersetOf(b) {
+			t.Fatal("union not a superset")
+		}
+		if !a.SupersetOf(inter) || !b.SupersetOf(inter) {
+			t.Fatal("intersect not a subset")
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := fromMembers(70, []int{1, 65})
+	b := a.Clone()
+	b.Add(2)
+	if a.Has(2) {
+		t.Error("Clone shares storage")
+	}
+	if !b.Has(1) || !b.Has(65) {
+		t.Error("Clone lost members")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := fromMembers(100, []int{3, 99})
+	b := fromMembers(100, []int{3, 99})
+	if !a.Equal(b) {
+		t.Error("equal sets not Equal")
+	}
+	b.Add(4)
+	if a.Equal(b) {
+		t.Error("unequal sets Equal")
+	}
+	if a.Equal(fromMembers(101, []int{3, 99})) {
+		t.Error("different capacities must not be Equal")
+	}
+}
+
+func TestResize(t *testing.T) {
+	a := fromMembers(10, []int{0, 9})
+	b := a.Resize(100)
+	if !b.Has(0) || !b.Has(9) || b.Len() != 100 {
+		t.Errorf("Resize lost members")
+	}
+	b.Add(99)
+	if a.Has(99) {
+		t.Error("Resize shares storage with source")
+	}
+}
+
+func TestAllTrimsTail(t *testing.T) {
+	// Count must not see bits above the capacity.
+	if err := quick.Check(func(nRaw uint8) bool {
+		n := int(nRaw)%150 + 1
+		return bitset.All(n).Count() == n
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCapacityMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched capacities must panic")
+		}
+	}()
+	bitset.New(10).UnionWith(bitset.New(20))
+}

@@ -1,0 +1,446 @@
+package buchi
+
+import (
+	"fmt"
+	"sort"
+
+	"contractdb/internal/vocab"
+)
+
+// StateID indexes a state within one automaton. States are dense,
+// 0-based.
+type StateID int
+
+// Edge is an outgoing transition: enabled when the current snapshot
+// satisfies Label, moving the automaton to To.
+type Edge struct {
+	Label Label
+	To    StateID
+}
+
+// BA is a Büchi automaton with a single initial state (w.l.o.g., as in
+// Algorithm 2's preconditions). Final states are the Büchi acceptance
+// set: a run is accepting iff it visits a final state infinitely
+// often.
+//
+// Events records the set of events the automaton's source formula
+// cites. For a contract BA this is the contract vocabulary that the
+// permission semantics restricts to (Definition 1); labels may mention
+// only events in Events.
+type BA struct {
+	Init   StateID
+	Final  []bool // indexed by StateID
+	Out    [][]Edge
+	Events vocab.Set
+}
+
+// New returns an automaton with n states, initial state 0, and no
+// transitions or final states.
+func New(n int) *BA {
+	return &BA{Final: make([]bool, n), Out: make([][]Edge, n)}
+}
+
+// NumStates returns the number of states.
+func (a *BA) NumStates() int { return len(a.Out) }
+
+// AddState appends a fresh state and returns its ID.
+func (a *BA) AddState() StateID {
+	a.Final = append(a.Final, false)
+	a.Out = append(a.Out, nil)
+	return StateID(len(a.Out) - 1)
+}
+
+// AddEdge inserts a transition. Duplicates are not filtered here —
+// construction code calls Normalize once at the end, which is far
+// cheaper than scanning the adjacency list on every insertion.
+func (a *BA) AddEdge(from StateID, label Label, to StateID) {
+	a.Out[from] = append(a.Out[from], Edge{Label: label, To: to})
+	a.Events = a.Events.Union(label.Vars())
+}
+
+// Normalize sorts each state's transitions, removes exact duplicates,
+// and drops subsumed edges: an edge (s, λ, t) is redundant when a
+// second edge (s, µ, t) exists whose literals are a subset of λ's —
+// every snapshot enabling λ enables µ, so the automaton's language is
+// unchanged, and since µ conflicts with no more query labels than λ,
+// simultaneous-lasso existence is unchanged too. Products of clause
+// automata generate large numbers of such edges.
+func (a *BA) Normalize() {
+	for s, out := range a.Out {
+		if len(out) < 2 {
+			continue
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].To != out[j].To {
+				return out[i].To < out[j].To
+			}
+			ci, cj := out[i].Label.LiteralCount(), out[j].Label.LiteralCount()
+			if ci != cj {
+				return ci < cj // weakest labels first: they subsume
+			}
+			if out[i].Label.Pos != out[j].Label.Pos {
+				return out[i].Label.Pos < out[j].Label.Pos
+			}
+			return out[i].Label.Neg < out[j].Label.Neg
+		})
+		kept := out[:0]
+		groupStart := 0 // first kept index of the current To-group
+		for i, e := range out {
+			if i > 0 && e.To != out[i-1].To {
+				groupStart = len(kept)
+			}
+			subsumed := false
+			for _, k := range kept[groupStart:] {
+				if k.Label.ContainedIn(e.Label) {
+					subsumed = true
+					break
+				}
+			}
+			if !subsumed {
+				kept = append(kept, e)
+			}
+		}
+		a.Out[s] = kept
+	}
+}
+
+// MergeAdjacentLabels rewrites each state's edge set by the Boolean
+// adjacency rule: two edges to the same target whose labels differ in
+// exactly one literal's polarity combine into one edge without that
+// literal ((µ∧e) ∨ (µ∧¬e) ≡ µ). The language is unchanged, and
+// compatibility with any satisfiable query label is unchanged too: a
+// label conflicting with both µ∧e and µ∧¬e would have to contain both
+// e and ¬e. Clause-product automata are full of such sibling pairs;
+// merging them shrinks edge counts and makes more states bisimilar.
+// Run Normalize afterwards to drop labels the merge made redundant.
+func (a *BA) MergeAdjacentLabels() {
+	type key struct {
+		to       StateID
+		pos, neg vocab.Set
+	}
+	for s, out := range a.Out {
+		for {
+			merged := false
+			index := make(map[key]int, len(out))
+			kept := out[:0]
+			for _, e := range out {
+				placed := false
+				for _, ev := range e.Label.Vars().IDs() {
+					reduced := e.Label
+					var opposite Label
+					if e.Label.Pos.Has(ev) {
+						reduced.Pos = reduced.Pos.Without(ev)
+						opposite = Label{Pos: reduced.Pos, Neg: reduced.Neg.With(ev)}
+					} else {
+						reduced.Neg = reduced.Neg.Without(ev)
+						opposite = Label{Pos: reduced.Pos.With(ev), Neg: reduced.Neg}
+					}
+					if i, ok := index[key{e.To, opposite.Pos, opposite.Neg}]; ok {
+						kept[i].Label = reduced
+						// The partner's old key is stale now; drop it
+						// so no later edge pairs against it. The
+						// reduced label is re-indexed on the next
+						// fixpoint pass.
+						delete(index, key{e.To, opposite.Pos, opposite.Neg})
+						merged = true
+						placed = true
+						break
+					}
+				}
+				if !placed {
+					index[key{e.To, e.Label.Pos, e.Label.Neg}] = len(kept)
+					kept = append(kept, e)
+				}
+			}
+			out = kept
+			if !merged {
+				break
+			}
+		}
+		a.Out[s] = out
+	}
+}
+
+// SetFinal marks state s as accepting.
+func (a *BA) SetFinal(s StateID) { a.Final[s] = true }
+
+// NumEdges returns the total number of transitions.
+func (a *BA) NumEdges() int {
+	n := 0
+	for _, out := range a.Out {
+		n += len(out)
+	}
+	return n
+}
+
+// FinalStates returns the accepting states in increasing order.
+func (a *BA) FinalStates() []StateID {
+	var out []StateID
+	for s, f := range a.Final {
+		if f {
+			out = append(out, StateID(s))
+		}
+	}
+	return out
+}
+
+// Reverse returns the reversed adjacency: for each state, the list of
+// incoming edges expressed as Edge{Label, From}.
+func (a *BA) Reverse() [][]Edge {
+	in := make([][]Edge, a.NumStates())
+	for from, out := range a.Out {
+		for _, e := range out {
+			in[e.To] = append(in[e.To], Edge{Label: e.Label, To: StateID(from)})
+		}
+	}
+	return in
+}
+
+// Reachable returns the set of states reachable from Init (inclusive).
+func (a *BA) Reachable() []bool {
+	seen := make([]bool, a.NumStates())
+	stack := []StateID{a.Init}
+	seen[a.Init] = true
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range a.Out[s] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return seen
+}
+
+// SCCs computes strongly connected components with an iterative
+// Tarjan's algorithm. It returns the component index of every state;
+// components are numbered in reverse topological order (a component's
+// successors have smaller indices).
+func (a *BA) SCCs() (comp []int, count int) {
+	n := a.NumStates()
+	comp = make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []StateID
+	next := 0
+
+	type frame struct {
+		v    StateID
+		edge int
+	}
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		work := []frame{{v: StateID(root)}}
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			v := f.v
+			if f.edge == 0 {
+				index[v] = next
+				low[v] = next
+				next++
+				stack = append(stack, v)
+				onStack[v] = true
+			}
+			advanced := false
+			for f.edge < len(a.Out[v]) {
+				w := a.Out[v][f.edge].To
+				f.edge++
+				if index[w] == -1 {
+					work = append(work, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = count
+					if w == v {
+						break
+					}
+				}
+				count++
+			}
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				parent := work[len(work)-1].v
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+		}
+	}
+	return comp, count
+}
+
+// OnAcceptingCycle returns, per state, whether the state lies on some
+// cycle that passes through a final state. These are the valid knots
+// for contract-side lassos; the seeds optimization (paper §6.2.4)
+// precomputes this set at registration time.
+func (a *BA) OnAcceptingCycle() []bool {
+	comp, count := a.SCCs()
+	// A component supports cycles iff it has an internal edge (this
+	// covers both multi-state components and self-loops).
+	cyclic := make([]bool, count)
+	hasFinal := make([]bool, count)
+	for from, out := range a.Out {
+		for _, e := range out {
+			if comp[from] == comp[e.To] {
+				cyclic[comp[from]] = true
+			}
+		}
+	}
+	for s, f := range a.Final {
+		if f {
+			hasFinal[comp[s]] = true
+		}
+	}
+	out := make([]bool, a.NumStates())
+	for s := range out {
+		c := comp[s]
+		out[s] = cyclic[c] && hasFinal[c]
+	}
+	return out
+}
+
+// CanReachAcceptingCycle returns, per state, whether some path leads
+// from the state to an accepting cycle. States where this fails can
+// never contribute to an accepting run.
+func (a *BA) CanReachAcceptingCycle() []bool {
+	on := a.OnAcceptingCycle()
+	in := a.Reverse()
+	out := make([]bool, a.NumStates())
+	var stack []StateID
+	for s, ok := range on {
+		if ok {
+			out[s] = true
+			stack = append(stack, StateID(s))
+		}
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range in[s] {
+			if !out[e.To] {
+				out[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return out
+}
+
+// Trim returns an equivalent automaton restricted to states that are
+// reachable from the initial state and from which an accepting cycle
+// is reachable. If the initial state itself is pruned, the automaton's
+// language is empty and Trim returns a single-state automaton with no
+// transitions. The second result maps old state IDs to new ones (-1
+// for removed states).
+func (a *BA) Trim() (*BA, []StateID) {
+	reach := a.Reachable()
+	live := a.CanReachAcceptingCycle()
+	remap := make([]StateID, a.NumStates())
+	keep := 0
+	for s := range remap {
+		if reach[s] && live[s] {
+			remap[s] = StateID(keep)
+			keep++
+		} else {
+			remap[s] = -1
+		}
+	}
+	if remap[a.Init] == -1 {
+		empty := New(1)
+		for i := range remap {
+			remap[i] = -1
+		}
+		return empty, remap
+	}
+	b := New(keep)
+	b.Init = remap[a.Init]
+	b.Events = a.Events
+	for s := range a.Out {
+		if remap[s] == -1 {
+			continue
+		}
+		if a.Final[s] {
+			b.SetFinal(remap[s])
+		}
+		for _, e := range a.Out[s] {
+			if remap[e.To] == -1 || !e.Label.Satisfiable() {
+				continue
+			}
+			b.AddEdge(remap[s], e.Label, remap[e.To])
+		}
+	}
+	return b, remap
+}
+
+// Clone returns a deep copy of the automaton.
+func (a *BA) Clone() *BA {
+	b := &BA{Init: a.Init, Events: a.Events}
+	b.Final = append([]bool(nil), a.Final...)
+	b.Out = make([][]Edge, len(a.Out))
+	for i, out := range a.Out {
+		b.Out[i] = append([]Edge(nil), out...)
+	}
+	return b
+}
+
+// IsEmpty reports whether the automaton accepts no run, i.e. no
+// accepting cycle is reachable from the initial state.
+func (a *BA) IsEmpty() bool {
+	reach := a.Reachable()
+	for s, on := range a.OnAcceptingCycle() {
+		if on && reach[s] {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks internal consistency: edge endpoints in range,
+// labels satisfiable and within Events. It returns the first problem
+// found.
+func (a *BA) Validate() error {
+	n := a.NumStates()
+	if len(a.Final) != n {
+		return fmt.Errorf("buchi: final vector length %d != %d states", len(a.Final), n)
+	}
+	if int(a.Init) < 0 || int(a.Init) >= n {
+		return fmt.Errorf("buchi: initial state %d out of range", a.Init)
+	}
+	for s, out := range a.Out {
+		for _, e := range out {
+			if int(e.To) < 0 || int(e.To) >= n {
+				return fmt.Errorf("buchi: edge %d->%d out of range", s, e.To)
+			}
+			if !e.Label.Satisfiable() {
+				return fmt.Errorf("buchi: edge %d->%d has unsatisfiable label", s, e.To)
+			}
+			if !e.Label.Vars().SubsetOf(a.Events) {
+				return fmt.Errorf("buchi: edge %d->%d label cites events outside Events", s, e.To)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"contractdb/internal/bisim"
+	"contractdb/internal/buchi"
+	"contractdb/internal/ltl"
+	"contractdb/internal/ltl2ba"
+	"contractdb/internal/permission"
+)
+
+// Registration names one specification for batch loading.
+type Registration struct {
+	Name string
+	Spec *ltl.Expr
+}
+
+// BatchResult reports one batch entry's outcome; exactly one of
+// Contract and Err is set.
+type BatchResult struct {
+	Contract *Contract
+	Err      error
+}
+
+// RegisterBatch registers many contracts, running the expensive
+// per-contract work — automaton construction and projection
+// precomputation — on a worker pool. The paper notes this workload is
+// "completely parallel (each contract is simplified independently)";
+// only the prefilter-index insertion and id assignment are serialized.
+// workers ≤ 0 selects GOMAXPROCS. Results are returned in input
+// order; failed entries (unsatisfiable, oversized, duplicate name) do
+// not abort the rest.
+func (db *DB) RegisterBatch(specs []Registration, workers int) []BatchResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type prepared struct {
+		auto        *buchi.BA
+		projections *bisim.ProjectionSet
+		elapsed     time.Duration
+		projElapsed time.Duration
+		err         error
+	}
+	prep := make([]prepared, len(specs))
+
+	// Pre-intern every atom serially: translation then only *reads*
+	// the vocabulary (Add returns early for known names), so workers
+	// cannot race on it.
+	var internErr error
+	for _, r := range specs {
+		for _, atom := range r.Spec.Atoms() {
+			if _, err := db.voc.Add(atom); err != nil {
+				internErr = err
+			}
+		}
+	}
+
+	// Phase 1 (parallel): translate and precompute.
+	translate := func(spec *ltl.Expr) (*buchi.BA, error) {
+		if internErr != nil {
+			return nil, internErr
+		}
+		return ltl2ba.TranslateBounded(db.voc, spec, db.opts.MaxAutomatonStates)
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				start := time.Now()
+				auto, err := translate(specs[i].Spec)
+				if err != nil {
+					prep[i].err = err
+					continue
+				}
+				if auto.IsEmpty() {
+					prep[i].err = fmt.Errorf("core: contract %q allows no behavior (unsatisfiable specification)", specs[i].Name)
+					continue
+				}
+				tProj := time.Now()
+				prep[i].auto = auto
+				prep[i].projections = bisim.Precompute(auto, db.effectiveBudget(auto))
+				prep[i].projElapsed = time.Since(tProj)
+				prep[i].elapsed = time.Since(start)
+			}
+		}()
+	}
+	for i := range specs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	// Phase 2 (serialized): id assignment, duplicate checks, index
+	// insertion.
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]BatchResult, len(specs))
+	for i, p := range prep {
+		if p.err != nil {
+			out[i].Err = p.err
+			continue
+		}
+		name := specs[i].Name
+		if name == "" {
+			name = fmt.Sprintf("contract-%d", len(db.contracts))
+		}
+		if _, dup := db.byName[name]; dup {
+			out[i].Err = fmt.Errorf("core: contract %q already registered", name)
+			continue
+		}
+		c := &Contract{
+			ID:          ContractID(len(db.contracts)),
+			Name:        name,
+			Spec:        specs[i].Spec,
+			auto:        p.auto,
+			checker:     permission.NewChecker(p.auto),
+			projections: p.projections,
+		}
+		t := time.Now()
+		db.index.Insert(int(c.ID), p.auto)
+		db.indexTime += time.Since(t)
+		db.projectionTime += p.projElapsed
+		db.registerTime += p.elapsed
+		db.contracts = append(db.contracts, c)
+		db.byName[name] = c
+		out[i].Contract = c
+	}
+	return out
+}

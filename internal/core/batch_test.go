@@ -1,0 +1,122 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"contractdb/internal/core"
+	"contractdb/internal/datagen"
+	"contractdb/internal/ltl"
+	"contractdb/internal/paperex"
+)
+
+func TestRegisterBatch(t *testing.T) {
+	db := core.NewDB(paperex.NewVocabulary(), core.Options{})
+	specs := []core.Registration{
+		{Name: "A", Spec: paperex.TicketA()},
+		{Name: "B", Spec: paperex.TicketB()},
+		{Name: "bad", Spec: ltl.MustParse("purchase && !purchase")},
+		{Name: "C", Spec: paperex.TicketC()},
+		{Name: "A", Spec: paperex.TicketA()}, // duplicate
+	}
+	results := db.RegisterBatch(specs, 4)
+	if len(results) != len(specs) {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, want := range []bool{true, true, false, true, false} {
+		if (results[i].Err == nil) != want {
+			t.Errorf("entry %d: err=%v, want success=%v", i, results[i].Err, want)
+		}
+	}
+	if db.Len() != 3 {
+		t.Fatalf("database has %d contracts, want 3", db.Len())
+	}
+	// The batch-registered database answers like a serially built one.
+	res, err := db.Query(paperex.QueryMissedRefundOrChange())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := names(res)
+	if !got["A"] || !got["B"] || got["C"] {
+		t.Errorf("query matched %v, want A and B", got)
+	}
+}
+
+// TestBatchMatchesSerial: same specs through RegisterBatch and
+// Register produce identical query answers.
+func TestBatchMatchesSerial(t *testing.T) {
+	voc1, voc2 := datagen.NewVocabulary(), datagen.NewVocabulary()
+	gen1, gen2 := datagen.New(voc1, 31), datagen.New(voc2, 31)
+	serial := core.NewDB(voc1, core.Options{})
+	batch := core.NewDB(voc2, core.Options{})
+
+	var specs []core.Registration
+	for i := 0; i < 20; i++ {
+		spec := gen1.Specification(4)
+		spec2 := gen2.Specification(4)
+		if !spec.Equal(spec2) {
+			t.Fatal("generators diverged")
+		}
+		name := fmt.Sprintf("c%02d", i)
+		specs = append(specs, core.Registration{Name: name, Spec: spec2})
+		_, err := serial.Register(name, spec)
+		if err != nil {
+			// The batch must fail on the same entry.
+			specs[len(specs)-1].Name = "FAILS:" + name
+		}
+	}
+	for _, r := range batch.RegisterBatch(specs, 3) {
+		_ = r // individual failures compared below via Len
+	}
+	// Both databases hold the same registered names.
+	if serial.Len() != batch.Len() {
+		t.Fatalf("serial has %d, batch has %d contracts", serial.Len(), batch.Len())
+	}
+	qgen := datagen.New(datagen.NewVocabulary(), 131)
+	for i := 0; i < 15; i++ {
+		q := qgen.Specification(2)
+		r1, err := serial.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := batch.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Stats.Permitted != r2.Stats.Permitted {
+			t.Fatalf("query %s: serial %d matches, batch %d", q, r1.Stats.Permitted, r2.Stats.Permitted)
+		}
+	}
+}
+
+func TestBatchVocabularyGrowth(t *testing.T) {
+	db := core.NewDB(paperex.NewVocabulary(), core.Options{})
+	results := db.RegisterBatch([]core.Registration{
+		{Name: "new-events", Spec: ltl.MustParse("G(premiumPaid -> F claimAccepted)")},
+	}, 2)
+	if results[0].Err != nil {
+		t.Fatal(results[0].Err)
+	}
+	if _, ok := db.Vocabulary().Lookup("claimAccepted"); !ok {
+		t.Error("batch registration must intern new events")
+	}
+}
+
+func TestBatchGeneratedNames(t *testing.T) {
+	db := core.NewDB(paperex.NewVocabulary(), core.Options{})
+	results := db.RegisterBatch([]core.Registration{
+		{Spec: paperex.TicketA()},
+		{Spec: paperex.TicketB()},
+	}, 2)
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("entry %d: %v", i, r.Err)
+		}
+		if r.Contract.Name == "" {
+			t.Error("generated name missing")
+		}
+	}
+	if results[0].Contract.Name == results[1].Contract.Name {
+		t.Error("generated names collide")
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"contractdb/internal/bisim"
+	"contractdb/internal/buchi"
+	"contractdb/internal/ltl"
+	"contractdb/internal/permission"
+	"contractdb/internal/prefilter"
+	"contractdb/internal/vocab"
+)
+
+// The persisted form keeps everything the offline registration step
+// produced — automata, prefilter index and projection partitions — so
+// a reloaded database answers queries at full speed without redoing
+// the precomputation (the paper's registration for 3000 contracts is
+// hours of work; ours is minutes, but still worth persisting).
+
+type dbSnapshot struct {
+	FormatVersion int
+	Events        []string
+	Opts          Options
+	Index         prefilter.Snapshot
+	Contracts     []contractSnapshot
+}
+
+type contractSnapshot struct {
+	Name        string
+	Spec        string // LTL concrete syntax; reparsed on load
+	Auto        *buchi.BA
+	Projections bisim.ProjectionSnapshot
+}
+
+const formatVersion = 1
+
+// Save writes the database, including all precomputed index
+// structures, to w in gob format.
+func (db *DB) Save(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	snap := dbSnapshot{
+		FormatVersion: formatVersion,
+		Events:        db.voc.Names(),
+		Opts:          db.opts,
+		Index:         db.index.Export(),
+	}
+	for _, c := range db.contracts {
+		snap.Contracts = append(snap.Contracts, contractSnapshot{
+			Name:        c.Name,
+			Spec:        c.Spec.String(),
+			Auto:        c.auto,
+			Projections: c.projections.Export(),
+		})
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a database previously written by Save.
+func Load(r io.Reader) (*DB, error) {
+	var snap dbSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	if snap.FormatVersion != formatVersion {
+		return nil, fmt.Errorf("core: load: unsupported format version %d", snap.FormatVersion)
+	}
+	voc, err := vocab.FromNames(snap.Events...)
+	if err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	db := NewDB(voc, snap.Opts)
+	db.index, err = prefilter.Import(snap.Index)
+	if err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	for i, cs := range snap.Contracts {
+		spec, err := ltl.Parse(cs.Spec)
+		if err != nil {
+			return nil, fmt.Errorf("core: load: contract %q: %w", cs.Name, err)
+		}
+		if cs.Auto == nil {
+			return nil, fmt.Errorf("core: load: contract %q has no automaton", cs.Name)
+		}
+		if err := cs.Auto.Validate(); err != nil {
+			return nil, fmt.Errorf("core: load: contract %q: %w", cs.Name, err)
+		}
+		projections, err := bisim.ImportProjections(cs.Auto, cs.Projections)
+		if err != nil {
+			return nil, fmt.Errorf("core: load: contract %q: %w", cs.Name, err)
+		}
+		c := &Contract{
+			ID:          ContractID(i),
+			Name:        cs.Name,
+			Spec:        spec,
+			auto:        cs.Auto,
+			checker:     permission.NewChecker(cs.Auto),
+			projections: projections,
+		}
+		if _, dup := db.byName[c.Name]; dup {
+			return nil, fmt.Errorf("core: load: duplicate contract name %q", c.Name)
+		}
+		db.contracts = append(db.contracts, c)
+		db.byName[c.Name] = c
+	}
+	if db.index.Len() != len(db.contracts) {
+		return nil, fmt.Errorf("core: load: index covers %d contracts, database has %d",
+			db.index.Len(), len(db.contracts))
+	}
+	return db, nil
+}

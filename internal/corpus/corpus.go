@@ -1,0 +1,88 @@
+// Package corpus reads and writes datasets of named LTL
+// specifications in a line-oriented text format, used to exchange
+// contract databases and query workloads between the generator, the
+// CLI and the experiment harness:
+//
+//	# airfare dataset, seed 42
+//	TicketA	G(dateChange -> !F refund)
+//	TicketB	G(missedFlight -> !F dateChange)
+//
+// One record per line: a name, a tab, and the specification in the
+// ltl package's concrete syntax. Blank lines and lines starting with
+// '#' are ignored. Specifications are parsed on read, so a corpus
+// file is always syntactically validated on load.
+package corpus
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"contractdb/internal/ltl"
+)
+
+// Entry is one named specification.
+type Entry struct {
+	Name string
+	Spec *ltl.Expr
+}
+
+// Write emits entries in the corpus format. Names must be non-empty
+// and tab-free.
+func Write(w io.Writer, entries []Entry) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range entries {
+		if e.Name == "" {
+			return fmt.Errorf("corpus: entry with empty name")
+		}
+		if strings.ContainsAny(e.Name, "\t\n") {
+			return fmt.Errorf("corpus: name %q contains a tab or newline", e.Name)
+		}
+		if e.Spec == nil {
+			return fmt.Errorf("corpus: entry %q has no specification", e.Name)
+		}
+		if _, err := fmt.Fprintf(bw, "%s\t%s\n", e.Name, e.Spec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a corpus stream. Parse errors identify the offending
+// line.
+func Read(r io.Reader) ([]Entry, error) {
+	var out []Entry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	seen := make(map[string]bool)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, specText, ok := strings.Cut(line, "\t")
+		if !ok {
+			return nil, fmt.Errorf("corpus: line %d: expected NAME<TAB>SPEC", lineNo)
+		}
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, fmt.Errorf("corpus: line %d: empty name", lineNo)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("corpus: line %d: duplicate name %q", lineNo, name)
+		}
+		seen[name] = true
+		spec, err := ltl.Parse(specText)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: line %d (%s): %w", lineNo, name, err)
+		}
+		out = append(out, Entry{Name: name, Spec: spec})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	return out, nil
+}

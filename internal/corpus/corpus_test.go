@@ -1,0 +1,103 @@
+package corpus_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"contractdb/internal/corpus"
+	"contractdb/internal/datagen"
+	"contractdb/internal/ltl"
+)
+
+func TestRoundTrip(t *testing.T) {
+	entries := []corpus.Entry{
+		{Name: "TicketA", Spec: ltl.MustParse("G(dateChange -> !F refund)")},
+		{Name: "TicketB", Spec: ltl.MustParse("G(missedFlight -> !F dateChange)")},
+		{Name: "weird name with spaces", Spec: ltl.MustParse("p U (q && r)")},
+	}
+	var buf bytes.Buffer
+	if err := corpus.Write(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	back, err := corpus.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(entries) {
+		t.Fatalf("read %d entries, want %d", len(back), len(entries))
+	}
+	for i := range entries {
+		if back[i].Name != entries[i].Name {
+			t.Errorf("entry %d name = %q, want %q", i, back[i].Name, entries[i].Name)
+		}
+		if !back[i].Spec.Equal(entries[i].Spec) {
+			t.Errorf("entry %d spec changed: %s vs %s", i, back[i].Spec, entries[i].Spec)
+		}
+	}
+}
+
+func TestCommentsAndBlanks(t *testing.T) {
+	src := "# header comment\n\nA\tG !p\n   \n# another\nB\tF q\n"
+	entries, err := corpus.Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Name != "A" || entries[1].Name != "B" {
+		t.Errorf("entries = %+v", entries)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing tab":    "A G !p\n",
+		"empty name":     "\tG !p\n",
+		"bad spec":       "A\tG !p &&\n",
+		"duplicate name": "A\tG !p\nA\tF q\n",
+	}
+	for name, src := range cases {
+		if _, err := corpus.Read(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: Read succeeded, want error", name)
+		}
+	}
+}
+
+func TestWriteErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := corpus.Write(&buf, []corpus.Entry{{Name: "", Spec: ltl.True()}}); err == nil {
+		t.Error("empty name must be rejected")
+	}
+	if err := corpus.Write(&buf, []corpus.Entry{{Name: "a\tb", Spec: ltl.True()}}); err == nil {
+		t.Error("tab in name must be rejected")
+	}
+	if err := corpus.Write(&buf, []corpus.Entry{{Name: "a", Spec: nil}}); err == nil {
+		t.Error("nil spec must be rejected")
+	}
+}
+
+// TestGeneratedDatasetRoundTrips: a generated workload survives the
+// corpus format, including every Dwyer pattern shape.
+func TestGeneratedDatasetRoundTrips(t *testing.T) {
+	voc := datagen.NewVocabulary()
+	gen := datagen.New(voc, 4)
+	var entries []corpus.Entry
+	for i := 0; i < 100; i++ {
+		entries = append(entries, corpus.Entry{
+			Name: gen.Specification(1).String()[:0] + "spec" + string(rune('A'+i%26)) + string(rune('0'+i/26)),
+			Spec: gen.Specification(5),
+		})
+	}
+	var buf bytes.Buffer
+	if err := corpus.Write(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	back, err := corpus.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range entries {
+		if !back[i].Spec.Equal(entries[i].Spec) {
+			t.Fatalf("entry %d changed:\n%s\n%s", i, entries[i].Spec, back[i].Spec)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+// Package datagen implements the paper's synthetic workload generator
+// (§7.2): contracts and queries are conjunctions of n randomly drawn
+// Dwyer pattern instances over a shared vocabulary of 20 events, with
+// behaviors and scopes drawn from the survey frequency distribution.
+//
+// Generation is deterministic given a seed, so the experiment harness
+// and the benchmarks operate on reproducible datasets.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"contractdb/internal/dwyer"
+	"contractdb/internal/ltl"
+	"contractdb/internal/vocab"
+)
+
+// VocabularySize is the event-vocabulary size used throughout the
+// paper's evaluation.
+const VocabularySize = 20
+
+// NewVocabulary returns the evaluation vocabulary p1..p20 (Example 14
+// names events this way).
+func NewVocabulary() *vocab.Vocabulary {
+	v := vocab.New()
+	for i := 1; i <= VocabularySize; i++ {
+		if _, err := v.Add(fmt.Sprintf("p%d", i)); err != nil {
+			panic(err) // cannot happen: 20 < MaxEvents
+		}
+	}
+	return v
+}
+
+// Class describes one of the paper's dataset classes (Table 2).
+type Class struct {
+	Name       string
+	Size       int // number of specifications in the dataset
+	Properties int // LTL pattern instances per specification
+}
+
+// The six datasets of Table 2.
+var (
+	SimpleContracts  = Class{Name: "Simple contracts", Size: 3000, Properties: 5}
+	MediumContracts  = Class{Name: "Medium contracts", Size: 1000, Properties: 6}
+	ComplexContracts = Class{Name: "Complex contracts", Size: 1000, Properties: 7}
+	SimpleQueries    = Class{Name: "Simple queries", Size: 100, Properties: 1}
+	MediumQueries    = Class{Name: "Medium queries", Size: 100, Properties: 2}
+	ComplexQueries   = Class{Name: "Complex queries", Size: 100, Properties: 3}
+)
+
+// ContractClasses returns the three contract dataset classes.
+func ContractClasses() []Class { return []Class{SimpleContracts, MediumContracts, ComplexContracts} }
+
+// QueryClasses returns the three query workload classes.
+func QueryClasses() []Class { return []Class{SimpleQueries, MediumQueries, ComplexQueries} }
+
+// Generator produces random specifications. Not safe for concurrent
+// use (it owns a rand.Rand).
+type Generator struct {
+	rng   *rand.Rand
+	voc   *vocab.Vocabulary
+	names []string
+
+	behaviors []dwyer.Behavior
+	bWeights  []int
+	bTotal    int
+	scopes    []dwyer.Scope
+	sWeights  []int
+	sTotal    int
+}
+
+// New returns a generator over the given vocabulary, seeded
+// deterministically.
+func New(voc *vocab.Vocabulary, seed int64) *Generator {
+	g := &Generator{
+		rng:   rand.New(rand.NewSource(seed)),
+		voc:   voc,
+		names: voc.Names(),
+	}
+	for _, b := range dwyer.Behaviors() {
+		g.behaviors = append(g.behaviors, b)
+		g.bWeights = append(g.bWeights, dwyer.BehaviorWeight(b))
+		g.bTotal += dwyer.BehaviorWeight(b)
+	}
+	for _, s := range dwyer.Scopes() {
+		g.scopes = append(g.scopes, s)
+		g.sWeights = append(g.sWeights, dwyer.ScopeWeight(s))
+		g.sTotal += dwyer.ScopeWeight(s)
+	}
+	return g
+}
+
+// Property draws one pattern instance: behavior and scope by survey
+// frequency, placeholder events uniformly without replacement (so
+// scope delimiters never coincide with the primary events, which
+// would degenerate the pattern).
+func (g *Generator) Property() *ltl.Expr {
+	b := g.behaviors[weighted(g.rng, g.bWeights, g.bTotal)]
+	s := g.scopes[weighted(g.rng, g.sWeights, g.sTotal)]
+	vars := dwyer.Vars(b, s)
+	picked := g.pick(len(vars))
+	var p dwyer.Params
+	for i, v := range vars {
+		switch v {
+		case "P":
+			p.P = picked[i]
+		case "S":
+			p.S = picked[i]
+		case "Q":
+			p.Q = picked[i]
+		case "R":
+			p.R = picked[i]
+		}
+	}
+	f, err := dwyer.Instantiate(b, s, p)
+	if err != nil {
+		panic(err) // templates and Vars are consistent by construction
+	}
+	return f
+}
+
+// Specification returns a conjunction of n pattern instances — one
+// contract or query, depending on n (Table 2: contracts use 5-7,
+// queries 1-3).
+func (g *Generator) Specification(n int) *ltl.Expr {
+	props := make([]*ltl.Expr, n)
+	for i := range props {
+		props[i] = g.Property()
+	}
+	return ltl.ConjoinAll(props...)
+}
+
+// Dataset generates a whole dataset class.
+func (g *Generator) Dataset(c Class) []*ltl.Expr {
+	out := make([]*ltl.Expr, c.Size)
+	for i := range out {
+		out[i] = g.Specification(c.Properties)
+	}
+	return out
+}
+
+// pick draws k distinct event names.
+func (g *Generator) pick(k int) []string {
+	idx := g.rng.Perm(len(g.names))[:k]
+	out := make([]string, k)
+	for i, j := range idx {
+		out[i] = g.names[j]
+	}
+	return out
+}
+
+func weighted(rng *rand.Rand, weights []int, total int) int {
+	x := rng.Intn(total)
+	for i, w := range weights {
+		if x < w {
+			return i
+		}
+		x -= w
+	}
+	return len(weights) - 1
+}

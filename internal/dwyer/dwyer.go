@@ -1,0 +1,170 @@
+// Package dwyer implements the property-specification patterns of
+// Dwyer, Avrunin and Corbett ("Property specification patterns for
+// finite-state verification", FMSP'98) that the paper's data generator
+// is built on (§7.2, Tables 1 and 3): five behaviors (absence,
+// existence, universality, precedence, response) across four scopes
+// (global, before r, after q, between q and r), with the occurrence
+// frequencies the survey reports.
+//
+// Two rows of the paper's Table 3 contain transcription glitches
+// (universality/after cites the between-scope variable r; response/
+// between drops an operand of U); this package uses the canonical
+// forms from the original pattern catalog for those rows and the
+// paper's text for the rest. EXPERIMENTS.md records the deltas.
+package dwyer
+
+import (
+	"fmt"
+
+	"contractdb/internal/ltl"
+)
+
+// Behavior is the required-behavior dimension of the pattern system.
+type Behavior int
+
+// Behaviors, in the paper's presentation order.
+const (
+	Absence Behavior = iota
+	Existence
+	Universality
+	Precedence
+	Response
+)
+
+var behaviorNames = [...]string{"absence", "existence", "universality", "precedence", "response"}
+
+// String returns the behavior's catalog name.
+func (b Behavior) String() string { return behaviorNames[b] }
+
+// Behaviors lists all supported behaviors.
+func Behaviors() []Behavior {
+	return []Behavior{Absence, Existence, Universality, Precedence, Response}
+}
+
+// Scope is the temporal-interval dimension of the pattern system.
+type Scope int
+
+// Scopes, in the paper's presentation order.
+const (
+	Global Scope = iota
+	Before
+	After
+	Between
+)
+
+var scopeNames = [...]string{"global", "before", "after", "between"}
+
+// String returns the scope's catalog name.
+func (s Scope) String() string { return scopeNames[s] }
+
+// Scopes lists all supported scopes.
+func Scopes() []Scope { return []Scope{Global, Before, After, Between} }
+
+// Params carries the event names substituted for the pattern
+// placeholders. P is the primary event; S the secondary event of
+// precedence/response; Q and R delimit the after/before/between
+// scopes.
+type Params struct {
+	P, S, Q, R string
+}
+
+// Vars returns the placeholder names a behavior/scope combination
+// requires, in template order.
+func Vars(b Behavior, s Scope) []string {
+	vars := []string{"P"}
+	if b == Precedence || b == Response {
+		vars = append(vars, "S")
+	}
+	switch s {
+	case Before:
+		vars = append(vars, "R")
+	case After:
+		vars = append(vars, "Q")
+	case Between:
+		vars = append(vars, "Q", "R")
+	}
+	return vars
+}
+
+// templates holds the LTL pattern text with %[1]s=p, %[2]s=s,
+// %[3]s=q, %[4]s=r. Kept as strings so the table tests can compare
+// them to the paper verbatim.
+var templates = map[Behavior]map[Scope]string{
+	Absence: {
+		Global:  "G(!%[1]s)",
+		Before:  "F %[4]s -> (!%[1]s U %[4]s)",
+		After:   "G(%[3]s -> G(!%[1]s))",
+		Between: "G((%[3]s && !%[4]s && F %[4]s) -> (!%[1]s U %[4]s))",
+	},
+	Existence: {
+		Global:  "F %[1]s",
+		Before:  "!%[4]s W (%[1]s && !%[4]s)",
+		After:   "G(!%[3]s) || F(%[3]s && F %[1]s)",
+		Between: "G(%[3]s && !%[4]s -> (!%[4]s W (%[1]s && !%[4]s)))",
+	},
+	Universality: {
+		Global:  "G %[1]s",
+		Before:  "F %[4]s -> (%[1]s U %[4]s)",
+		After:   "G(%[3]s -> G %[1]s)",
+		Between: "G((%[3]s && !%[4]s && F %[4]s) -> (%[1]s U %[4]s))",
+	},
+	Precedence: {
+		Global:  "F %[1]s -> (!%[1]s U (%[2]s || G(!%[1]s)))",
+		Before:  "F %[4]s -> (!%[1]s U (%[2]s || %[4]s))",
+		After:   "G(!%[3]s) || F(%[3]s && (!%[1]s U (%[2]s || G(!%[1]s))))",
+		Between: "G((%[3]s && !%[4]s && F %[4]s) -> (!%[1]s U (%[2]s || %[4]s)))",
+	},
+	Response: {
+		Global:  "G(%[1]s -> F %[2]s)",
+		Before:  "F %[4]s -> (%[1]s -> (!%[4]s U (%[2]s && !%[4]s))) U %[4]s",
+		After:   "G(%[3]s -> G(%[1]s -> F %[2]s))",
+		Between: "G((%[3]s && !%[4]s && F %[4]s) -> ((%[1]s -> (!%[4]s U (%[2]s && !%[4]s))) U %[4]s))",
+	},
+}
+
+// Template returns the raw LTL template text for a behavior/scope.
+func Template(b Behavior, s Scope) string { return templates[b][s] }
+
+// Instantiate substitutes the parameters into the pattern and parses
+// the result. Missing required parameters are an error so generator
+// bugs surface immediately rather than as malformed contracts.
+func Instantiate(b Behavior, s Scope, p Params) (*ltl.Expr, error) {
+	for _, v := range Vars(b, s) {
+		val := map[string]string{"P": p.P, "S": p.S, "Q": p.Q, "R": p.R}[v]
+		if val == "" {
+			return nil, fmt.Errorf("dwyer: %s/%s requires parameter %s", b, s, v)
+		}
+	}
+	text := fmt.Sprintf(templates[b][s], p.P, p.S, p.Q, p.R)
+	f, err := ltl.Parse(text)
+	if err != nil {
+		return nil, fmt.Errorf("dwyer: template %s/%s produced unparsable %q: %w", b, s, text, err)
+	}
+	return f, nil
+}
+
+// Survey frequencies from Dwyer et al.'s study of 555 specifications
+// (511 matched a pattern). BehaviorWeight is the number of matched
+// specifications per behavior, ScopeWeight per scope; the paper's
+// generator draws patterns from this distribution (§7.2).
+var (
+	behaviorWeight = map[Behavior]int{
+		Absence:      85,
+		Existence:    27,
+		Universality: 119,
+		Precedence:   26,
+		Response:     245,
+	}
+	scopeWeight = map[Scope]int{
+		Global:  429,
+		Before:  14,
+		After:   47,
+		Between: 21,
+	}
+)
+
+// BehaviorWeight returns the survey frequency of b.
+func BehaviorWeight(b Behavior) int { return behaviorWeight[b] }
+
+// ScopeWeight returns the survey frequency of s.
+func ScopeWeight(s Scope) int { return scopeWeight[s] }

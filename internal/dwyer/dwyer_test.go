@@ -1,0 +1,203 @@
+package dwyer_test
+
+import (
+	"strings"
+	"testing"
+
+	"contractdb/internal/dwyer"
+	"contractdb/internal/ltl"
+	"contractdb/internal/ltl2ba"
+	"contractdb/internal/vocab"
+)
+
+var params = dwyer.Params{P: "p", S: "s", Q: "q", R: "r"}
+
+// TestTable3AllPatternsWellFormed: every behavior/scope template
+// parses, instantiates, and yields a satisfiable (non-empty) and
+// non-trivial automaton.
+func TestTable3AllPatternsWellFormed(t *testing.T) {
+	for _, b := range dwyer.Behaviors() {
+		for _, s := range dwyer.Scopes() {
+			f, err := dwyer.Instantiate(b, s, params)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", b, s, err)
+			}
+			voc := vocab.MustFromNames("p", "s", "q", "r")
+			a, err := ltl2ba.Translate(voc, f)
+			if err != nil {
+				t.Fatalf("%s/%s: translate: %v", b, s, err)
+			}
+			if a.IsEmpty() {
+				t.Errorf("%s/%s is unsatisfiable: %s", b, s, f)
+			}
+			// The negation must also be satisfiable: a pattern that is
+			// valid (always true) would constrain nothing.
+			na, err := ltl2ba.Translate(voc, ltl.Not(f))
+			if err != nil {
+				t.Fatalf("%s/%s: translate negation: %v", b, s, err)
+			}
+			if na.IsEmpty() {
+				t.Errorf("%s/%s is a tautology: %s", b, s, f)
+			}
+		}
+	}
+}
+
+// TestTable1PrecedenceRow pins the precedence row (the paper's Table
+// 1) to the catalog forms we implement.
+func TestTable1PrecedenceRow(t *testing.T) {
+	want := map[dwyer.Scope]string{
+		dwyer.Global:  "F p -> (!p U (s || G(!p)))",
+		dwyer.Before:  "F r -> (!p U (s || r))",
+		dwyer.After:   "G(!q) || F(q && (!p U (s || G(!p))))",
+		dwyer.Between: "G((q && !r && F r) -> (!p U (s || r)))",
+	}
+	for scope, text := range want {
+		got, err := dwyer.Instantiate(dwyer.Precedence, scope, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(ltl.MustParse(text)) {
+			t.Errorf("precedence/%s = %s, want %s", scope, got, text)
+		}
+	}
+}
+
+// Semantic spot checks: each behavior/scope pair is evaluated on a
+// run engineered to satisfy it and one engineered to violate it.
+func TestPatternSemantics(t *testing.T) {
+	voc := vocab.MustFromNames("p", "s", "q", "r")
+	set := func(names ...string) vocab.Set {
+		v, err := voc.SetOf(names...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	mk := func(cycleLast string, steps ...string) ltl.Lasso {
+		run := ltl.Lasso{}
+		for _, st := range steps {
+			if st == "" {
+				run.Prefix = append(run.Prefix, 0)
+			} else {
+				run.Prefix = append(run.Prefix, set(strings.Split(st, ",")...))
+			}
+		}
+		if cycleLast == "" {
+			run.Cycle = []vocab.Set{0}
+		} else {
+			run.Cycle = []vocab.Set{set(strings.Split(cycleLast, ",")...)}
+		}
+		return run
+	}
+
+	cases := []struct {
+		b    dwyer.Behavior
+		s    dwyer.Scope
+		good ltl.Lasso
+		bad  ltl.Lasso
+	}{
+		// absence/global: p never happens vs p happens.
+		{dwyer.Absence, dwyer.Global, mk(""), mk("", "p")},
+		// absence/before r: no p before the first r.
+		{dwyer.Absence, dwyer.Before, mk("", "s", "r", "p"), mk("", "p", "r")},
+		// absence/after q: no p after q.
+		{dwyer.Absence, dwyer.After, mk("", "p", "q"), mk("", "q", "p")},
+		// absence/between q and r: no p strictly inside a q..r window.
+		{dwyer.Absence, dwyer.Between, mk("", "q", "r", "p"), mk("", "q", "p", "r")},
+		// existence/global.
+		{dwyer.Existence, dwyer.Global, mk("", "p"), mk("")},
+		// existence/before r: p before the first r (vacuous if no r —
+		// the bad run must contain r with no earlier p).
+		{dwyer.Existence, dwyer.Before, mk("", "p", "r"), mk("", "r")},
+		// existence/after q.
+		{dwyer.Existence, dwyer.After, mk("", "q", "p"), mk("", "q")},
+		// existence/between.
+		{dwyer.Existence, dwyer.Between, mk("", "q", "p", "r"), mk("", "q", "r")},
+		// universality/global.
+		{dwyer.Universality, dwyer.Global, mk("p"), mk("p", "")},
+		// universality/before r.
+		{dwyer.Universality, dwyer.Before, mk("", "p", "p", "r"), mk("", "p", "", "r")},
+		// universality/after q. p must hold from q onward.
+		{dwyer.Universality, dwyer.After, mk("p", "", "q,p"), mk("", "q", "p")},
+		// universality/between: p must hold from the q snapshot itself.
+		{dwyer.Universality, dwyer.Between, mk("", "q,p", "p", "r"), mk("", "q", "", "r")},
+		// precedence/global: s precedes the first p.
+		{dwyer.Precedence, dwyer.Global, mk("", "s", "p"), mk("", "p", "s")},
+		// precedence/before r.
+		{dwyer.Precedence, dwyer.Before, mk("", "s", "p", "r"), mk("", "p", "s", "r")},
+		// precedence/after q: after the first q, s precedes p.
+		{dwyer.Precedence, dwyer.After, mk("", "q", "s", "p"), mk("", "q", "p")},
+		// precedence/between.
+		{dwyer.Precedence, dwyer.Between, mk("", "q", "s", "p", "r"), mk("", "q", "p", "r")},
+		// response/global: every p is followed by s.
+		{dwyer.Response, dwyer.Global, mk("", "p", "s"), mk("", "p")},
+		// response/before r: p in the pre-r region is answered by s
+		// before r.
+		{dwyer.Response, dwyer.Before, mk("", "p", "s", "r"), mk("", "p", "r")},
+		// response/after q.
+		{dwyer.Response, dwyer.After, mk("", "q", "p", "s"), mk("", "q", "p")},
+		// response/between.
+		{dwyer.Response, dwyer.Between, mk("", "q", "p", "s", "r"), mk("", "q", "p", "r")},
+	}
+	for _, c := range cases {
+		f, err := dwyer.Instantiate(c.b, c.s, params)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", c.b, c.s, err)
+		}
+		if !c.good.Eval(voc, f) {
+			t.Errorf("%s/%s: good run rejected by %s", c.b, c.s, f)
+		}
+		if c.bad.Eval(voc, f) {
+			t.Errorf("%s/%s: bad run accepted by %s", c.b, c.s, f)
+		}
+	}
+}
+
+func TestVars(t *testing.T) {
+	cases := []struct {
+		b    dwyer.Behavior
+		s    dwyer.Scope
+		want []string
+	}{
+		{dwyer.Absence, dwyer.Global, []string{"P"}},
+		{dwyer.Absence, dwyer.Between, []string{"P", "Q", "R"}},
+		{dwyer.Response, dwyer.Global, []string{"P", "S"}},
+		{dwyer.Response, dwyer.Between, []string{"P", "S", "Q", "R"}},
+		{dwyer.Precedence, dwyer.Before, []string{"P", "S", "R"}},
+		{dwyer.Existence, dwyer.After, []string{"P", "Q"}},
+	}
+	for _, c := range cases {
+		got := dwyer.Vars(c.b, c.s)
+		if len(got) != len(c.want) {
+			t.Fatalf("Vars(%s,%s) = %v, want %v", c.b, c.s, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("Vars(%s,%s) = %v, want %v", c.b, c.s, got, c.want)
+			}
+		}
+	}
+}
+
+func TestInstantiateMissingParam(t *testing.T) {
+	if _, err := dwyer.Instantiate(dwyer.Response, dwyer.Between, dwyer.Params{P: "p", S: "s", Q: "q"}); err == nil {
+		t.Error("missing R must be an error")
+	}
+	if _, err := dwyer.Instantiate(dwyer.Absence, dwyer.Global, dwyer.Params{}); err == nil {
+		t.Error("missing P must be an error")
+	}
+}
+
+func TestWeightsarePositive(t *testing.T) {
+	for _, b := range dwyer.Behaviors() {
+		if dwyer.BehaviorWeight(b) <= 0 {
+			t.Errorf("behavior %s has non-positive weight", b)
+		}
+	}
+	for _, s := range dwyer.Scopes() {
+		if dwyer.ScopeWeight(s) <= 0 {
+			t.Errorf("scope %s has non-positive weight", s)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+// Package ltl implements Linear Temporal Logic formulas: an abstract
+// syntax tree, a parser for a textual syntax, structural rewrites
+// (derived-operator elimination, negation normal form), and an exact
+// evaluator over ultimately-periodic runs that serves as the test
+// oracle for the automata pipeline.
+//
+// The operator set follows the paper (§2.2): the boolean connectives
+// plus X (next), F (eventually), G (globally), U (until), W (weak
+// until), B (before), and additionally R (release), which is the dual
+// of U and the target of negation normal form.
+package ltl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Op identifies an LTL operator or leaf kind.
+type Op int
+
+// Operator kinds. Leaf kinds first, then unary, then binary.
+const (
+	OpAtom Op = iota // propositional event variable
+	OpTrue
+	OpFalse
+	OpNot     // ¬φ
+	OpNext    // Xφ
+	OpFinally // Fφ (eventually)
+	OpGlobal  // Gφ (globally)
+	OpAnd     // φ ∧ ψ
+	OpOr      // φ ∨ ψ
+	OpImplies // φ → ψ
+	OpIff     // φ ↔ ψ
+	OpUntil   // φ U ψ
+	OpWeak    // φ W ψ  ≡ (φ U ψ) ∨ Gφ
+	OpBefore  // φ B ψ  ≡ ¬(¬φ U ψ)
+	OpRelease // φ R ψ  ≡ ¬(¬φ U ¬ψ)
+)
+
+var opNames = map[Op]string{
+	OpAtom: "atom", OpTrue: "true", OpFalse: "false",
+	OpNot: "!", OpNext: "X", OpFinally: "F", OpGlobal: "G",
+	OpAnd: "&&", OpOr: "||", OpImplies: "->", OpIff: "<->",
+	OpUntil: "U", OpWeak: "W", OpBefore: "B", OpRelease: "R",
+}
+
+// String returns the concrete-syntax spelling of the operator.
+func (o Op) String() string { return opNames[o] }
+
+// IsUnary reports whether o is a unary temporal/boolean operator.
+func (o Op) IsUnary() bool { return o == OpNot || o == OpNext || o == OpFinally || o == OpGlobal }
+
+// IsBinary reports whether o takes two operands.
+func (o Op) IsBinary() bool { return o >= OpAnd && o <= OpRelease }
+
+// Expr is an immutable LTL formula node. Exprs are shared freely;
+// never mutate one after construction.
+type Expr struct {
+	Op    Op
+	Name  string // atom name, set only for OpAtom
+	Left  *Expr  // operand (unary) or left operand (binary)
+	Right *Expr  // right operand (binary only)
+}
+
+// Convenience constructors. They perform no simplification; see
+// Simplify for light-weight rewriting.
+
+// Atom returns the propositional variable named name.
+func Atom(name string) *Expr { return &Expr{Op: OpAtom, Name: name} }
+
+// True is the constant true formula.
+func True() *Expr { return &Expr{Op: OpTrue} }
+
+// False is the constant false formula.
+func False() *Expr { return &Expr{Op: OpFalse} }
+
+// Not returns ¬φ.
+func Not(p *Expr) *Expr { return &Expr{Op: OpNot, Left: p} }
+
+// Next returns Xφ.
+func Next(p *Expr) *Expr { return &Expr{Op: OpNext, Left: p} }
+
+// Finally returns Fφ.
+func Finally(p *Expr) *Expr { return &Expr{Op: OpFinally, Left: p} }
+
+// Globally returns Gφ.
+func Globally(p *Expr) *Expr { return &Expr{Op: OpGlobal, Left: p} }
+
+// And returns φ ∧ ψ.
+func And(p, q *Expr) *Expr { return &Expr{Op: OpAnd, Left: p, Right: q} }
+
+// Or returns φ ∨ ψ.
+func Or(p, q *Expr) *Expr { return &Expr{Op: OpOr, Left: p, Right: q} }
+
+// Implies returns φ → ψ.
+func Implies(p, q *Expr) *Expr { return &Expr{Op: OpImplies, Left: p, Right: q} }
+
+// Iff returns φ ↔ ψ.
+func Iff(p, q *Expr) *Expr { return &Expr{Op: OpIff, Left: p, Right: q} }
+
+// Until returns φ U ψ.
+func Until(p, q *Expr) *Expr { return &Expr{Op: OpUntil, Left: p, Right: q} }
+
+// WeakUntil returns φ W ψ.
+func WeakUntil(p, q *Expr) *Expr { return &Expr{Op: OpWeak, Left: p, Right: q} }
+
+// Before returns φ B ψ (φ is true before ψ is: ¬(¬φ U ψ)).
+func Before(p, q *Expr) *Expr { return &Expr{Op: OpBefore, Left: p, Right: q} }
+
+// Release returns φ R ψ.
+func Release(p, q *Expr) *Expr { return &Expr{Op: OpRelease, Left: p, Right: q} }
+
+// ConjoinAll folds a slice of formulas into a right-nested conjunction.
+// ConjoinAll() is true.
+func ConjoinAll(fs ...*Expr) *Expr {
+	if len(fs) == 0 {
+		return True()
+	}
+	out := fs[len(fs)-1]
+	for i := len(fs) - 2; i >= 0; i-- {
+		out = And(fs[i], out)
+	}
+	return out
+}
+
+// Atoms returns the set of distinct atom names appearing in f, sorted.
+func (f *Expr) Atoms() []string {
+	seen := map[string]bool{}
+	f.Walk(func(e *Expr) {
+		if e.Op == OpAtom {
+			seen[e.Name] = true
+		}
+	})
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Walk calls fn on f and every descendant, preorder.
+func (f *Expr) Walk(fn func(*Expr)) {
+	if f == nil {
+		return
+	}
+	fn(f)
+	f.Left.Walk(fn)
+	f.Right.Walk(fn)
+}
+
+// Size returns the number of nodes in f.
+func (f *Expr) Size() int {
+	n := 0
+	f.Walk(func(*Expr) { n++ })
+	return n
+}
+
+// Equal reports structural equality.
+func (f *Expr) Equal(g *Expr) bool {
+	if f == g {
+		return true
+	}
+	if f == nil || g == nil || f.Op != g.Op || f.Name != g.Name {
+		return false
+	}
+	return f.Left.Equal(g.Left) && f.Right.Equal(g.Right)
+}
+
+// String renders f in the parser's concrete syntax. The output
+// round-trips through Parse.
+func (f *Expr) String() string {
+	var b strings.Builder
+	f.format(&b, 0)
+	return b.String()
+}
+
+// Binding strengths, loosest first. Unary operators bind tightest.
+var precedence = map[Op]int{
+	OpIff: 1, OpImplies: 2, OpOr: 3, OpAnd: 4,
+	OpUntil: 5, OpWeak: 5, OpBefore: 5, OpRelease: 5,
+}
+
+func (f *Expr) format(b *strings.Builder, parent int) {
+	switch {
+	case f.Op == OpAtom:
+		b.WriteString(f.Name)
+	case f.Op == OpTrue:
+		b.WriteString("true")
+	case f.Op == OpFalse:
+		b.WriteString("false")
+	case f.Op.IsUnary():
+		b.WriteString(f.Op.String())
+		if f.Op != OpNot {
+			b.WriteString(" ")
+		}
+		// Unary operands parenthesize unless they are leaves or unary.
+		if f.Left.Op.IsBinary() {
+			b.WriteString("(")
+			f.Left.format(b, 0)
+			b.WriteString(")")
+		} else {
+			f.Left.format(b, 99)
+		}
+	default: // binary
+		prec := precedence[f.Op]
+		paren := prec < parent || (prec == parent && !sameAssociative(f.Op, parent))
+		if paren {
+			b.WriteString("(")
+		}
+		// Binary temporal operators are right-associative; so are the
+		// boolean ones in our grammar, so format the left child at
+		// prec+1 to force parens on same-precedence left nesting.
+		f.Left.format(b, prec+1)
+		b.WriteString(" " + f.Op.String() + " ")
+		f.Right.format(b, prec)
+		if paren {
+			b.WriteString(")")
+		}
+	}
+}
+
+// sameAssociative reports whether an unparenthesized chain at this
+// precedence level re-parses identically. And/Or chains do; the mixed
+// temporal operators at level 5 do not.
+func sameAssociative(o Op, parent int) bool {
+	return (o == OpAnd || o == OpOr) && precedence[o] == parent
+}
+
+// GoString aids debugging in tests.
+func (f *Expr) GoString() string { return fmt.Sprintf("ltl(%s)", f.String()) }

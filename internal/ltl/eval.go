@@ -1,0 +1,184 @@
+package ltl
+
+import "contractdb/internal/vocab"
+
+// Lasso is a finitely-represented ultimately-periodic run: the
+// assignments in Prefix are followed by the assignments in Cycle
+// repeated forever. Each assignment is the set of events that are true
+// in that snapshot; all other events are false.
+//
+// Lasso runs are the exact semantic domain for LTL over our
+// vocabularies: every satisfiable formula has a lasso model, and every
+// Büchi acceptance witness is a lasso. The evaluator below is therefore
+// a complete oracle and is used by the automata tests.
+type Lasso struct {
+	Prefix []vocab.Set
+	Cycle  []vocab.Set // must be non-empty
+}
+
+// Len returns the number of distinct positions (prefix + cycle).
+func (l Lasso) Len() int { return len(l.Prefix) + len(l.Cycle) }
+
+// At returns the assignment at position i (0-based), wrapping i into
+// the cycle when it exceeds the prefix.
+func (l Lasso) At(i int) vocab.Set {
+	if i < len(l.Prefix) {
+		return l.Prefix[i]
+	}
+	return l.Cycle[(i-len(l.Prefix))%len(l.Cycle)]
+}
+
+// succ maps a position index in [0, Len) to its successor, looping the
+// final cycle position back to the cycle start.
+func (l Lasso) succ(i int) int {
+	if i == l.Len()-1 {
+		return len(l.Prefix)
+	}
+	return i + 1
+}
+
+// Eval reports whether the run satisfies f at position 0 (ρ ⊨ f).
+// Atom names are resolved against voc; atoms not in voc are false
+// everywhere (assignments only list true events). Eval panics if the
+// cycle is empty, which never represents a valid infinite run.
+func (l Lasso) Eval(voc *vocab.Vocabulary, f *Expr) bool {
+	if len(l.Cycle) == 0 {
+		panic("ltl: Lasso with empty cycle")
+	}
+	e := evaluator{run: l, voc: voc, memo: map[*Expr][]bool{}}
+	return e.vector(f)[0]
+}
+
+type evaluator struct {
+	run  Lasso
+	voc  *vocab.Vocabulary
+	memo map[*Expr][]bool
+}
+
+// vector returns the truth of f at every distinct position of the run.
+func (e *evaluator) vector(f *Expr) []bool {
+	if v, ok := e.memo[f]; ok {
+		return v
+	}
+	n := e.run.Len()
+	v := make([]bool, n)
+	switch f.Op {
+	case OpTrue:
+		for i := range v {
+			v[i] = true
+		}
+	case OpFalse:
+		// zero value
+	case OpAtom:
+		if id, ok := e.voc.Lookup(f.Name); ok {
+			for i := 0; i < n; i++ {
+				v[i] = e.run.At(i).Has(id)
+			}
+		}
+	case OpNot:
+		p := e.vector(f.Left)
+		for i := range v {
+			v[i] = !p[i]
+		}
+	case OpNext:
+		p := e.vector(f.Left)
+		for i := range v {
+			v[i] = p[e.run.succ(i)]
+		}
+	case OpAnd:
+		p, q := e.vector(f.Left), e.vector(f.Right)
+		for i := range v {
+			v[i] = p[i] && q[i]
+		}
+	case OpOr:
+		p, q := e.vector(f.Left), e.vector(f.Right)
+		for i := range v {
+			v[i] = p[i] || q[i]
+		}
+	case OpImplies:
+		p, q := e.vector(f.Left), e.vector(f.Right)
+		for i := range v {
+			v[i] = !p[i] || q[i]
+		}
+	case OpIff:
+		p, q := e.vector(f.Left), e.vector(f.Right)
+		for i := range v {
+			v[i] = p[i] == q[i]
+		}
+	case OpUntil:
+		v = e.lfp(e.vector(f.Left), e.vector(f.Right))
+	case OpRelease:
+		v = e.gfp(e.vector(f.Left), e.vector(f.Right))
+	case OpFinally:
+		v = e.lfp(e.vector(True()), e.vector(f.Left))
+	case OpGlobal:
+		// Gp ≡ false R p.
+		v = e.gfp(e.vector(False()), e.vector(f.Left))
+	case OpWeak:
+		// p W q ≡ q R (p ∨ q).
+		p, q := e.vector(f.Left), e.vector(f.Right)
+		or := make([]bool, n)
+		for i := range or {
+			or[i] = p[i] || q[i]
+		}
+		v = e.gfp(q, or)
+	case OpBefore:
+		// p B q ≡ p R ¬q.
+		p, q := e.vector(f.Left), e.vector(f.Right)
+		nq := make([]bool, n)
+		for i := range nq {
+			nq[i] = !q[i]
+		}
+		v = e.gfp(p, nq)
+	default:
+		panic("ltl: unknown operator in Eval")
+	}
+	e.memo[f] = v
+	return v
+}
+
+// lfp computes the least fixpoint of v = r ∨ (l ∧ v∘succ), the
+// semantics of l U r on a lasso. Convergence is guaranteed within Len
+// iterations because each iteration only flips positions false→true.
+func (e *evaluator) lfp(l, r []bool) []bool {
+	n := e.run.Len()
+	v := make([]bool, n)
+	for iter := 0; iter <= n; iter++ {
+		changed := false
+		for i := n - 1; i >= 0; i-- {
+			nv := r[i] || (l[i] && v[e.run.succ(i)])
+			if nv != v[i] {
+				v[i] = nv
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return v
+}
+
+// gfp computes the greatest fixpoint of v = r ∧ (l ∨ v∘succ), the
+// semantics of l R r on a lasso.
+func (e *evaluator) gfp(l, r []bool) []bool {
+	n := e.run.Len()
+	v := make([]bool, n)
+	for i := range v {
+		v[i] = true
+	}
+	for iter := 0; iter <= n; iter++ {
+		changed := false
+		for i := n - 1; i >= 0; i-- {
+			nv := r[i] && (l[i] || v[e.run.succ(i)])
+			if nv != v[i] {
+				v[i] = nv
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return v
+}

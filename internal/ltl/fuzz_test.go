@@ -1,0 +1,66 @@
+package ltl_test
+
+import (
+	"testing"
+
+	"contractdb/internal/ltl"
+)
+
+// FuzzParse checks the parser never panics and that anything it
+// accepts round-trips through the printer.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"p",
+		"G(p -> X(!F p))",
+		"p U (q W r)",
+		"a && b || !c -> d <-> e",
+		"((((p))))",
+		"true U false",
+		"F r -> (p -> (!r U (s && !r))) U r",
+		"!!!!!p",
+		"X X X X p",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		expr, err := ltl.Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		printed := expr.String()
+		again, err := ltl.Parse(printed)
+		if err != nil {
+			t.Fatalf("printer emitted unparsable %q for input %q: %v", printed, src, err)
+		}
+		if !expr.Equal(again) {
+			t.Fatalf("round trip changed AST for %q: %q vs %q", src, printed, again)
+		}
+	})
+}
+
+// FuzzRewrites checks NNF/Simplify never panic on accepted input and
+// keep the atom set within the original's.
+func FuzzRewrites(f *testing.F) {
+	f.Add("G(p -> F q)")
+	f.Add("p B q && r W s")
+	f.Add("!(p <-> q)")
+	f.Fuzz(func(t *testing.T, src string) {
+		expr, err := ltl.Parse(src)
+		if err != nil {
+			return
+		}
+		nnf := ltl.NNF(expr)
+		simp := ltl.Simplify(expr)
+		orig := map[string]bool{}
+		for _, a := range expr.Atoms() {
+			orig[a] = true
+		}
+		for _, g := range []*ltl.Expr{nnf, simp} {
+			for _, a := range g.Atoms() {
+				if !orig[a] {
+					t.Fatalf("rewrite invented atom %q in %s", a, g)
+				}
+			}
+		}
+	})
+}

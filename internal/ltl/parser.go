@@ -1,0 +1,296 @@
+package ltl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse parses an LTL formula in the package's concrete syntax.
+//
+// Grammar (loosest binding first; all binary operators associate to
+// the right):
+//
+//	iff     := implies ( "<->" iff )?
+//	implies := or ( "->" implies )?
+//	or      := and ( ("||" | "|") or )?
+//	and     := temporal ( ("&&" | "&") and )?
+//	temporal:= unary ( ("U"|"W"|"B"|"R") temporal )?
+//	unary   := ("!"|"X"|"F"|"G") unary | primary
+//	primary := "true" | "false" | ident | "(" iff ")"
+//
+// Identifiers are Go-style: a letter or underscore followed by letters,
+// digits or underscores. The single-letter operator names U, W, B, R,
+// X, F, G are reserved and cannot be used as event names.
+func Parse(input string) (*Expr, error) {
+	p := &parser{src: input}
+	p.next()
+	e, err := p.parseIff()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF || p.tok.text != "" {
+		return nil, p.errorf("unexpected %q after formula", p.tok.text)
+	}
+	return e, nil
+}
+
+// MustParse is Parse, panicking on error. For tests and fixed formulas.
+func MustParse(input string) *Expr {
+	e, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokTrue
+	tokFalse
+	tokNot    // !
+	tokAnd    // && or &
+	tokOr     // || or |
+	tokImply  // ->
+	tokIff    // <->
+	tokLParen // (
+	tokRParen // )
+	tokX
+	tokF
+	tokG
+	tokU
+	tokW
+	tokB
+	tokR
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type parser struct {
+	src string
+	off int
+	tok token
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("ltl: parse error at offset %d: %s", p.tok.pos, fmt.Sprintf(format, args...))
+}
+
+var reserved = map[string]tokKind{
+	"true": tokTrue, "false": tokFalse,
+	"X": tokX, "F": tokF, "G": tokG,
+	"U": tokU, "W": tokW, "B": tokB, "R": tokR,
+}
+
+func (p *parser) next() {
+	for p.off < len(p.src) && unicode.IsSpace(rune(p.src[p.off])) {
+		p.off++
+	}
+	start := p.off
+	if p.off >= len(p.src) {
+		p.tok = token{kind: tokEOF, pos: start}
+		return
+	}
+	c := p.src[p.off]
+	switch {
+	case c == '(':
+		p.off++
+		p.tok = token{tokLParen, "(", start}
+	case c == ')':
+		p.off++
+		p.tok = token{tokRParen, ")", start}
+	case c == '!':
+		p.off++
+		p.tok = token{tokNot, "!", start}
+	case c == '&':
+		p.off++
+		if p.off < len(p.src) && p.src[p.off] == '&' {
+			p.off++
+		}
+		p.tok = token{tokAnd, "&&", start}
+	case c == '|':
+		p.off++
+		if p.off < len(p.src) && p.src[p.off] == '|' {
+			p.off++
+		}
+		p.tok = token{tokOr, "||", start}
+	case c == '-':
+		if strings.HasPrefix(p.src[p.off:], "->") {
+			p.off += 2
+			p.tok = token{tokImply, "->", start}
+			return
+		}
+		p.tok = token{tokEOF, "-", start} // reported by caller
+	case c == '<':
+		if strings.HasPrefix(p.src[p.off:], "<->") {
+			p.off += 3
+			p.tok = token{tokIff, "<->", start}
+			return
+		}
+		p.tok = token{tokEOF, "<", start}
+	case isIdentStart(c):
+		end := p.off
+		for end < len(p.src) && isIdentPart(p.src[end]) {
+			end++
+		}
+		word := p.src[p.off:end]
+		p.off = end
+		if k, ok := reserved[word]; ok {
+			p.tok = token{k, word, start}
+		} else {
+			p.tok = token{tokIdent, word, start}
+		}
+	default:
+		p.tok = token{tokEOF, string(c), start}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || ('0' <= c && c <= '9') }
+
+func (p *parser) parseIff() (*Expr, error) {
+	left, err := p.parseImplies()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokIff {
+		p.next()
+		right, err := p.parseIff()
+		if err != nil {
+			return nil, err
+		}
+		return Iff(left, right), nil
+	}
+	return left, nil
+}
+
+func (p *parser) parseImplies() (*Expr, error) {
+	left, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokImply {
+		p.next()
+		right, err := p.parseImplies()
+		if err != nil {
+			return nil, err
+		}
+		return Implies(left, right), nil
+	}
+	return left, nil
+}
+
+func (p *parser) parseOr() (*Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokOr {
+		p.next()
+		right, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		return Or(left, right), nil
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (*Expr, error) {
+	left, err := p.parseTemporal()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokAnd {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		return And(left, right), nil
+	}
+	return left, nil
+}
+
+var binTemporal = map[tokKind]Op{tokU: OpUntil, tokW: OpWeak, tokB: OpBefore, tokR: OpRelease}
+
+func (p *parser) parseTemporal() (*Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	if op, ok := binTemporal[p.tok.kind]; ok {
+		p.next()
+		right, err := p.parseTemporal()
+		if err != nil {
+			return nil, err
+		}
+		return &Expr{Op: op, Left: left, Right: right}, nil
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (*Expr, error) {
+	var op Op
+	switch p.tok.kind {
+	case tokNot:
+		op = OpNot
+	case tokX:
+		op = OpNext
+	case tokF:
+		op = OpFinally
+	case tokG:
+		op = OpGlobal
+	default:
+		return p.parsePrimary()
+	}
+	p.next()
+	operand, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	return &Expr{Op: op, Left: operand}, nil
+}
+
+func (p *parser) parsePrimary() (*Expr, error) {
+	switch p.tok.kind {
+	case tokTrue:
+		p.next()
+		return True(), nil
+	case tokFalse:
+		p.next()
+		return False(), nil
+	case tokIdent:
+		name := p.tok.text
+		p.next()
+		return Atom(name), nil
+	case tokLParen:
+		p.next()
+		e, err := p.parseIff()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, p.errorf("expected ')', found %q", p.tok.text)
+		}
+		p.next()
+		return e, nil
+	case tokEOF:
+		if p.tok.text != "" {
+			return nil, p.errorf("unexpected character %q", p.tok.text)
+		}
+		return nil, p.errorf("unexpected end of formula")
+	default:
+		return nil, p.errorf("unexpected %q", p.tok.text)
+	}
+}

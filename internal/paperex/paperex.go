@@ -1,0 +1,111 @@
+// Package paperex encodes the paper's running example (Examples 2-5,
+// Figure 1): the single-trip flight vocabulary, the common clauses
+// C0-C5, the three ticket contracts, and the queries discussed in the
+// text. It is shared by the golden tests and by the quickstart
+// example, so the exact formulas the paper reasons about are checked
+// in one place.
+package paperex
+
+import (
+	"strings"
+
+	"contractdb/internal/ltl"
+	"contractdb/internal/vocab"
+)
+
+// Events of the common vocabulary. classUpgrade exists in the shared
+// vocabulary but is cited by none of the tickets, which is what makes
+// Example 4's under-specification scenario observable.
+var Events = []string{"purchase", "use", "missedFlight", "refund", "dateChange", "classUpgrade"}
+
+// NewVocabulary returns a fresh vocabulary holding Events.
+func NewVocabulary() *vocab.Vocabulary {
+	return vocab.MustFromNames(Events...)
+}
+
+// flightEvents are the events the common clauses C0-C5 range over.
+var flightEvents = []string{"purchase", "use", "missedFlight", "refund", "dateChange"}
+
+// CommonClauses returns C0-C5 of Example 5: the domain axioms every
+// airfare shares. Note the X in C4/C5: the paper writes ¬F(...), but
+// with the standard reflexive F that would forbid the triggering event
+// itself; C1's own X(¬F purchase) shows the intended strict reading.
+func CommonClauses() []*ltl.Expr {
+	var clauses []*ltl.Expr
+	// C0: at most one event per snapshot.
+	for _, e := range flightEvents {
+		var others []string
+		for _, o := range flightEvents {
+			if o != e {
+				others = append(others, "!"+o)
+			}
+		}
+		clauses = append(clauses, ltl.MustParse("G("+e+" -> "+strings.Join(others, " && ")+")"))
+	}
+	clauses = append(clauses,
+		// C1: the ticket is purchased once.
+		ltl.MustParse("G(purchase -> X(!F purchase))"),
+		// C2: purchase precedes use, miss, refund and reschedule.
+		ltl.MustParse("purchase B (use || missedFlight || refund || dateChange)"),
+		// C3: a missed flight makes the ticket unusable unless rescheduled.
+		ltl.MustParse("(missedFlight -> !F use) W dateChange"),
+		// C4: a refund terminates the contract.
+		ltl.MustParse("G(refund -> X(!F(use || missedFlight || refund || dateChange)))"),
+		// C5: using the ticket terminates the contract.
+		ltl.MustParse("G(use -> X(!F(use || missedFlight || refund || dateChange)))"),
+	)
+	return clauses
+}
+
+// TicketA: no refunds after date changes; unlimited date changes.
+func TicketA() *ltl.Expr {
+	return withCommon(ltl.MustParse("G(dateChange -> !F refund)"))
+}
+
+// TicketB: refunds always allowed; date changes only before the
+// scheduled departure (modeled, as in Example 5, by forbidding a date
+// change after a missed flight).
+func TicketB() *ltl.Expr {
+	return withCommon(ltl.MustParse("G(missedFlight -> !F dateChange)"))
+}
+
+// TicketC: no refunds; at most one date change; date changes only
+// before the scheduled departure.
+func TicketC() *ltl.Expr {
+	return withCommon(
+		ltl.MustParse("G(!refund)"),
+		ltl.MustParse("G(dateChange -> X(!F dateChange))"),
+		ltl.MustParse("G(missedFlight -> !F dateChange)"),
+	)
+}
+
+func withCommon(specific ...*ltl.Expr) *ltl.Expr {
+	return ltl.ConjoinAll(append(CommonClauses(), specific...)...)
+}
+
+// QueryMissedRefundOrChange is the temporal part of the introduction's
+// query: "allows a partial ticket refund or a date change after the
+// first leg has been missed". Tickets A and B permit it; C does not.
+func QueryMissedRefundOrChange() *ltl.Expr {
+	return ltl.MustParse("F(missedFlight && X F(refund || dateChange))")
+}
+
+// QueryRefundAfterMiss is Figure 1b: a refund strictly after a missed
+// flight.
+func QueryRefundAfterMiss() *ltl.Expr {
+	return ltl.MustParse("F(missedFlight && X F refund)")
+}
+
+// QueryUpgradeAfterChange is Q2 of Example 4: a class upgrade after a
+// date change. No ticket cites classUpgrade, so under the permission
+// semantics none may be returned.
+func QueryUpgradeAfterChange() *ltl.Expr {
+	return ltl.MustParse("F(dateChange && X F classUpgrade)")
+}
+
+// QueryQ3 is Q3 of §2.1: after a date change, a class upgrade or a
+// refund. Ticket B permits it through the refund disjunct even though
+// it never cites classUpgrade.
+func QueryQ3() *ltl.Expr {
+	return ltl.MustParse("F(dateChange && X F(classUpgrade || refund))")
+}

@@ -1,0 +1,245 @@
+// Package permission implements the paper's core contribution: the
+// check that a contract permits a temporal query (Definition 1,
+// Theorem 1, Algorithm 2).
+//
+// A contract C permits a query q iff the Büchi automata representing
+// them admit a *simultaneous lasso path* (Definition 7): a pair of
+// lasso paths, one in each automaton, whose step-wise labels are
+// compatible — the query label must cite only contract-vocabulary
+// events and must not conflict with the contract label. The checker
+// explores the implicit product graph depth-first; whenever it reaches
+// a pair whose query state is final (a potential knot), a nested
+// search looks for a product cycle back to the knot that passes
+// through a contract-final pair.
+//
+// Two refinements from the paper are implemented:
+//
+//   - Seeds (§6.2.4): a knot is viable only if its contract state lies
+//     on a cycle through a contract-final state; those states are
+//     precomputed at registration time.
+//   - Memoization (§6.2.2): the nested search runs on the product
+//     graph doubled with a "seen a contract-final pair" flag, so each
+//     (pair, flag) is visited at most once per knot and the search is
+//     linear in the product rather than backtracking-exponential.
+package permission
+
+import (
+	"contractdb/internal/buchi"
+)
+
+// Stats reports work done by a single Permits call, used by the
+// experiment harness and the ablation benchmarks.
+type Stats struct {
+	PairsVisited  int // distinct product pairs expanded in the outer DFS
+	CycleSearches int // nested searches started (knots tried)
+	CycleVisited  int // (pair, flag) states expanded across nested searches
+}
+
+// Algorithm selects the search strategy. Both return identical
+// verdicts (the tests cross-validate them); they differ in cost.
+type Algorithm int
+
+const (
+	// SCC finds a simultaneous lasso with a single Tarjan pass over
+	// the reachable product graph: permission holds iff some reachable
+	// product component has an internal edge, a contract-final pair
+	// and a query-final pair. This is Algorithm 2's nested search with
+	// the memoization of §6.2.2 taken to its conclusion ("we can code
+	// the whole procedure as a depth first visit, never visiting any
+	// pair more than once") — linear in the product. The default.
+	SCC Algorithm = iota
+	// NestedDFS is the paper's Algorithm 2 as printed: an outer
+	// product DFS that starts a flag-doubled nested cycle search at
+	// every viable knot. Kept as the reference implementation and for
+	// the ablation benchmarks.
+	NestedDFS
+)
+
+// Checker holds a contract automaton with its registration-time
+// precomputation. A Checker is immutable after construction and safe
+// for concurrent use.
+type Checker struct {
+	contract *buchi.BA
+	// seeds[s] reports whether contract state s lies on a cycle
+	// containing a contract-final state; only such states can anchor
+	// the contract side of a simultaneous lasso cycle.
+	seeds []bool
+	// useSeeds disables the seed restriction for ablation studies; the
+	// result is unchanged, only more nested searches run.
+	useSeeds bool
+	algo     Algorithm
+}
+
+// Option configures a Checker.
+type Option func(*Checker)
+
+// WithoutSeeds disables the seeds optimization of §6.2.4. Results are
+// identical; the option exists to measure the optimization's benefit.
+// It only affects the NestedDFS algorithm.
+func WithoutSeeds() Option { return func(c *Checker) { c.useSeeds = false } }
+
+// WithAlgorithm selects the search strategy.
+func WithAlgorithm(a Algorithm) Option { return func(c *Checker) { c.algo = a } }
+
+// NewChecker precomputes the seed states of the contract automaton
+// (registration-time work in the paper's architecture).
+func NewChecker(contract *buchi.BA, opts ...Option) *Checker {
+	c := &Checker{
+		contract: contract,
+		seeds:    contract.OnAcceptingCycle(),
+		useSeeds: true,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Contract returns the automaton the checker was built for.
+func (c *Checker) Contract() *buchi.BA { return c.contract }
+
+// Permits reports whether the contract permits the query automaton.
+func (c *Checker) Permits(query *buchi.BA) bool {
+	ok, _ := c.PermitsStats(query)
+	return ok
+}
+
+// PermitsStats is Permits with work counters.
+func (c *Checker) PermitsStats(query *buchi.BA) (bool, Stats) {
+	return c.PermitsAlgo(query, c.algo)
+}
+
+// PermitsAlgo runs the check with an explicit algorithm, overriding
+// the checker's default. Both algorithms share the registration-time
+// precomputation, so the experiment harness can compare them on one
+// checker.
+func (c *Checker) PermitsAlgo(query *buchi.BA, algo Algorithm) (bool, Stats) {
+	s := &search{
+		contract: c.contract,
+		query:    query,
+		checker:  c,
+		nc:       c.contract.NumStates(),
+		nq:       query.NumStates(),
+	}
+	s.visited = make([]bool, s.nc*s.nq)
+	// Pre-resolve which query labels cite only contract events
+	// (condition (i) of compatibility); the per-pair check then
+	// reduces to a literal conflict test.
+	s.edgeOK = make([][]bool, s.nq)
+	for q, out := range query.Out {
+		s.edgeOK[q] = make([]bool, len(out))
+		for i, e := range out {
+			s.edgeOK[q][i] = e.Label.Vars().SubsetOf(c.contract.Events)
+		}
+	}
+	if algo == SCC {
+		return s.sccSearch(), s.stats
+	}
+	found := s.visit(c.contract.Init, query.Init)
+	return found, s.stats
+}
+
+// Check is a convenience for one-shot use: it builds a Checker and
+// runs a single query.
+func Check(contract, query *buchi.BA) bool {
+	return NewChecker(contract).Permits(query)
+}
+
+type search struct {
+	contract *buchi.BA
+	query    *buchi.BA
+	checker  *Checker
+	nc, nq   int
+
+	visited []bool   // outer DFS: product pairs expanded
+	edgeOK  [][]bool // query edge index → cites only contract events
+	stats   Stats
+
+	// cycle-search scratch. The generation counter makes "reset
+	// between knots" O(1) instead of an O(|product|) clear per knot.
+	cycleSeen []uint32 // generation at which (pair, flag) was visited
+	cycleGen  uint32
+}
+
+func (s *search) pair(cs, qs buchi.StateID) int { return int(cs)*s.nq + int(qs) }
+
+// visit is the outer DFS of Algorithm 2: it enumerates reachable
+// product pairs and starts a nested cycle search at every viable knot.
+func (s *search) visit(cs, qs buchi.StateID) bool {
+	p := s.pair(cs, qs)
+	if s.visited[p] {
+		return false
+	}
+	s.visited[p] = true
+	s.stats.PairsVisited++
+
+	if s.query.Final[qs] && (!s.checker.useSeeds || s.checker.seeds[cs]) {
+		s.stats.CycleSearches++
+		if s.cycleSearch(cs, qs) {
+			return true
+		}
+	}
+	for _, ec := range s.contract.Out[cs] {
+		for qi, eq := range s.query.Out[qs] {
+			if !s.edgeOK[qs][qi] || ec.Label.Conflicts(eq.Label) {
+				continue
+			}
+			if s.visit(ec.To, eq.To) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// cycleSearch looks for a product cycle from the knot back to itself
+// that passes through a pair whose contract state is final. The search
+// space is the product graph doubled with a flag recording whether a
+// contract-final pair has been seen since leaving the knot (the knot
+// itself counts); memoizing (pair, flag) keeps the search linear.
+func (s *search) cycleSearch(kc, kq buchi.StateID) bool {
+	if s.cycleSeen == nil {
+		s.cycleSeen = make([]uint32, s.nc*s.nq*2)
+	}
+	s.cycleGen++
+	type node struct {
+		cs, qs buchi.StateID
+		flag   bool
+	}
+	startFlag := s.contract.Final[kc]
+	stack := []node{{kc, kq, startFlag}}
+	// Note: the start node is expanded but deliberately not marked
+	// seen with its own key until expanded, so a self-loop works.
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		key := s.pair(n.cs, n.qs) * 2
+		if n.flag {
+			key++
+		}
+		if s.cycleSeen[key] == s.cycleGen {
+			continue
+		}
+		s.cycleSeen[key] = s.cycleGen
+		s.stats.CycleVisited++
+		for _, ec := range s.contract.Out[n.cs] {
+			for qi, eq := range s.query.Out[n.qs] {
+				if !s.edgeOK[n.qs][qi] || ec.Label.Conflicts(eq.Label) {
+					continue
+				}
+				flag := n.flag || s.contract.Final[ec.To]
+				if ec.To == kc && eq.To == kq {
+					// Closed the cycle: accept if a contract-final
+					// pair occurred on it (the knot itself counts via
+					// startFlag, the closing target via flag).
+					if flag {
+						return true
+					}
+					continue
+				}
+				stack = append(stack, node{ec.To, eq.To, flag})
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,133 @@
+package permission
+
+import "contractdb/internal/buchi"
+
+// sccSearch decides simultaneous-lasso existence with one Tarjan pass
+// over the implicit product graph: a simultaneous lasso exists iff
+// some product component reachable from the initial pair has an
+// internal edge (so cycles exist), contains a pair whose query state
+// is final (the knot), and contains a pair whose contract state is
+// final (condition on the contract-side lasso). Any two nodes of a
+// strongly connected component lie on a common cycle, so the three
+// conditions compose into one witness cycle.
+//
+// The search terminates as soon as a qualifying component is popped.
+func (s *search) sccSearch() bool {
+	n := s.nc * s.nq
+	index := make([]int32, n)
+	low := make([]int32, n)
+	for i := range index {
+		index[i] = -1
+	}
+	onStack := make([]bool, n)
+	var stack []int32
+	next := int32(0)
+
+	// frame iterates the double loop over contract × query out-edges.
+	type frame struct {
+		pair   int32
+		ci, qi int
+	}
+	root := int32(s.pair(s.contract.Init, s.query.Init))
+	work := []frame{{pair: root}}
+	for len(work) > 0 {
+		f := &work[len(work)-1]
+		v := f.pair
+		cs := buchi.StateID(int(v) / s.nq)
+		qs := buchi.StateID(int(v) % s.nq)
+		if f.ci == 0 && f.qi == 0 && index[v] == -1 {
+			index[v] = next
+			low[v] = next
+			next++
+			stack = append(stack, v)
+			onStack[v] = true
+			s.stats.PairsVisited++
+		}
+		advanced := false
+		cout := s.contract.Out[cs]
+		qout := s.query.Out[qs]
+		for f.ci < len(cout) {
+			ec := cout[f.ci]
+			for f.qi < len(qout) {
+				qi := f.qi
+				f.qi++
+				if !s.edgeOK[qs][qi] || ec.Label.Conflicts(qout[qi].Label) {
+					continue
+				}
+				w := int32(s.pair(ec.To, qout[qi].To))
+				if index[w] == -1 {
+					work = append(work, frame{pair: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				break
+			}
+			f.ci++
+			f.qi = 0
+		}
+		if advanced {
+			continue
+		}
+		if low[v] == index[v] {
+			// Pop the component and test the three conditions.
+			popped := stack
+			cut := len(stack)
+			for {
+				cut--
+				if popped[cut] == v {
+					break
+				}
+			}
+			members := append([]int32(nil), stack[cut:]...)
+			stack = stack[:cut]
+			queryFinal, contractFinal := false, false
+			for _, m := range members {
+				onStack[m] = false
+				mc := buchi.StateID(int(m) / s.nq)
+				mq := buchi.StateID(int(m) % s.nq)
+				if s.contract.Final[mc] {
+					contractFinal = true
+				}
+				if s.query.Final[mq] {
+					queryFinal = true
+				}
+			}
+			if queryFinal && contractFinal && s.componentHasCycle(members) {
+				return true
+			}
+		}
+		work = work[:len(work)-1]
+		if len(work) > 0 {
+			parent := work[len(work)-1].pair
+			if low[v] < low[parent] {
+				low[parent] = low[v]
+			}
+		}
+	}
+	return false
+}
+
+// componentHasCycle reports whether the popped component supports a
+// cycle: more than one member always does (strong connectivity), a
+// singleton only via a self-edge in the product.
+func (s *search) componentHasCycle(members []int32) bool {
+	if len(members) > 1 {
+		return true
+	}
+	v := members[0]
+	cs := buchi.StateID(int(v) / s.nq)
+	qs := buchi.StateID(int(v) % s.nq)
+	for _, ec := range s.contract.Out[cs] {
+		for qi, eq := range s.query.Out[qs] {
+			if ec.To == cs && eq.To == qs && s.edgeOK[qs][qi] && !ec.Label.Conflicts(eq.Label) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,41 @@
+package prefilter
+
+import (
+	"fmt"
+
+	"contractdb/internal/buchi"
+)
+
+// Snapshot is the serializable form of an Index, used by the broker's
+// database persistence. All fields are exported for encoding/gob.
+type Snapshot struct {
+	K     int
+	N     int
+	Nodes map[buchi.Label][]uint64
+}
+
+// Export captures the index state. The node sets are copied so the
+// snapshot stays valid if the index keeps growing.
+func (ix *Index) Export() Snapshot {
+	s := Snapshot{K: ix.k, N: ix.n, Nodes: make(map[buchi.Label][]uint64, len(ix.nodes))}
+	for l, words := range ix.nodes {
+		s.Nodes[l] = append([]uint64(nil), words...)
+	}
+	return s
+}
+
+// Import reconstructs an index from a snapshot.
+func Import(s Snapshot) (*Index, error) {
+	if s.K < 1 {
+		return nil, fmt.Errorf("prefilter: snapshot has invalid depth %d", s.K)
+	}
+	if s.N < 0 {
+		return nil, fmt.Errorf("prefilter: snapshot has negative size %d", s.N)
+	}
+	ix := New(s.K)
+	ix.n = s.N
+	for l, words := range s.Nodes {
+		ix.nodes[l] = append([]uint64(nil), words...)
+	}
+	return ix, nil
+}

@@ -1,0 +1,75 @@
+package prefilter_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"contractdb/internal/buchi"
+	"contractdb/internal/ltl2ba"
+	"contractdb/internal/ltltest"
+	"contractdb/internal/permission"
+	"contractdb/internal/prefilter"
+	"contractdb/internal/vocab"
+)
+
+// TestExactIsSoundAndTighter: the complete pruning condition must
+// still contain every permitting contract, and must never keep a
+// contract the approximate condition prunes.
+func TestExactIsSoundAndTighter(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	voc := vocab.MustFromNames("a", "b", "c", "d")
+	cfg := ltltest.Config{Atoms: []string{"a", "b", "c", "d"}, MaxDepth: 4}
+	ix := prefilter.New(2)
+	var contracts []*buchi.BA
+	for i := 0; i < 50; i++ {
+		a, err := ltl2ba.Translate(voc, ltltest.Expr(rng, cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix.Insert(i, a)
+		contracts = append(contracts, a)
+	}
+	exactTighter := 0
+	for j := 0; j < 80; j++ {
+		qf := ltltest.Expr(rng, ltltest.Config{Atoms: []string{"a", "b", "c"}, MaxDepth: 3})
+		qa, err := ltl2ba.Translate(voc, qf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx := ix.Candidates(qa)
+		exact := ix.CandidatesExact(qa, 0)
+		if !approx.SupersetOf(exact) {
+			t.Fatalf("exact condition kept a contract the approximation pruned (query %s)", qf)
+		}
+		if exact.Count() < approx.Count() {
+			exactTighter++
+		}
+		for i, ca := range contracts {
+			if permission.Check(ca, qa) && !exact.Has(i) {
+				t.Fatalf("exact condition pruned permitting contract %d (query %s)", i, qf)
+			}
+		}
+	}
+	t.Logf("exact was strictly tighter on %d/80 queries (paper: 'nearly the same')", exactTighter)
+}
+
+// TestExactBudgetFallback: with a tiny budget the exact enumeration
+// must fall back to the approximate (still sound) condition.
+func TestExactBudgetFallback(t *testing.T) {
+	voc := vocab.MustFromNames("a", "b")
+	ix := prefilter.New(2)
+	a, err := ltl2ba.Translate(voc, mustLTL(t, "G(a -> F b)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.Insert(0, a)
+	qa, err := ltl2ba.Translate(voc, mustLTL(t, "F(a && X F b)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := ix.CandidatesExact(qa, 1) // immediately exhausted
+	approx := ix.Candidates(qa)
+	if !exact.Equal(approx) {
+		t.Errorf("budget fallback should return the approximate condition")
+	}
+}

@@ -1,0 +1,103 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Client is a typed HTTP client for the broker server. The zero value
+// is not usable; use NewClient.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for a server at base (e.g.
+// "http://localhost:8080"). A nil httpClient uses
+// http.DefaultClient.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: base, http: httpClient}
+}
+
+func (c *Client) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var apiErr Error
+		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("server: %s (HTTP %d)", apiErr.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("server: HTTP %d", resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Health checks liveness.
+func (c *Client) Health() (HealthResponse, error) {
+	var out HealthResponse
+	err := c.do(http.MethodGet, "/v1/health", nil, &out)
+	return out, err
+}
+
+// Register registers a contract.
+func (c *Client) Register(name, spec string) (ContractInfo, error) {
+	var out ContractInfo
+	err := c.do(http.MethodPost, "/v1/contracts", RegisterRequest{Name: name, Spec: spec}, &out)
+	return out, err
+}
+
+// Contracts lists registered contracts.
+func (c *Client) Contracts() ([]ContractInfo, error) {
+	var out []ContractInfo
+	err := c.do(http.MethodGet, "/v1/contracts", nil, &out)
+	return out, err
+}
+
+// Contract fetches one contract by name.
+func (c *Client) Contract(name string) (ContractInfo, error) {
+	var out ContractInfo
+	err := c.do(http.MethodGet, "/v1/contracts/"+name, nil, &out)
+	return out, err
+}
+
+// Query evaluates a temporal query; mode "" or "opt" uses the
+// indexes, "scan" the unoptimized baseline.
+func (c *Client) Query(spec, mode string) (QueryResponse, error) {
+	var out QueryResponse
+	err := c.do(http.MethodPost, "/v1/query", QueryRequest{Spec: spec, Mode: mode}, &out)
+	return out, err
+}
+
+// Stats fetches database statistics.
+func (c *Client) Stats() (StatsResponse, error) {
+	var out StatsResponse
+	err := c.do(http.MethodGet, "/v1/stats", nil, &out)
+	return out, err
+}

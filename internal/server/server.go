@@ -1,0 +1,268 @@
+// Package server exposes a contract database over HTTP/JSON — the
+// "brokering system" deployment the paper envisions: providers
+// register contracts, consumers run temporal queries, both against a
+// long-lived indexed database.
+//
+// Endpoints:
+//
+//	GET  /v1/health              liveness and database size
+//	GET  /v1/contracts           list registered contracts
+//	GET  /v1/contracts/{name}    one contract's spec and automaton stats
+//	POST /v1/contracts           register {"name": ..., "spec": ...}
+//	POST /v1/query               evaluate {"spec": ..., "mode": "opt"|"scan"}
+//	GET  /v1/stats               registration/index statistics
+//
+// All request and response bodies are JSON. Registration is
+// serialized by the engine; queries run concurrently.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"contractdb/internal/core"
+	"contractdb/internal/ltl"
+)
+
+// Server wires a core.DB to an http.Handler. Create with New; the
+// zero value is not usable.
+type Server struct {
+	db  *core.DB
+	mux *http.ServeMux
+	// Persist, when non-nil, is invoked after every successful
+	// registration so the operator can snapshot the database.
+	Persist func(*core.DB) error
+}
+
+// New returns a server for the database.
+func New(db *core.DB) *Server {
+	s := &Server{db: db, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /v1/health", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/contracts", s.handleList)
+	s.mux.HandleFunc("GET /v1/contracts/{name}", s.handleGet)
+	s.mux.HandleFunc("POST /v1/contracts", s.handleRegister)
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Error is the JSON error envelope.
+type Error struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding failures after the header is out can only be logged by
+	// the caller's middleware; the payloads here are plain structs.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, Error{Error: err.Error()})
+}
+
+// HealthResponse reports liveness.
+type HealthResponse struct {
+	Status    string `json:"status"`
+	Contracts int    `json:"contracts"`
+	Events    int    `json:"events"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:    "ok",
+		Contracts: s.db.Len(),
+		Events:    s.db.Vocabulary().Len(),
+	})
+}
+
+// ContractInfo describes one registered contract.
+type ContractInfo struct {
+	Name        string   `json:"name"`
+	Spec        string   `json:"spec,omitempty"`
+	States      int      `json:"states"`
+	Transitions int      `json:"transitions"`
+	Events      []string `json:"events"`
+}
+
+func (s *Server) contractInfo(c *core.Contract, includeSpec bool) ContractInfo {
+	voc := s.db.Vocabulary()
+	var events []string
+	for _, id := range c.Events().IDs() {
+		events = append(events, voc.Name(id))
+	}
+	info := ContractInfo{
+		Name:        c.Name,
+		States:      c.Automaton().NumStates(),
+		Transitions: c.Automaton().NumEdges(),
+		Events:      events,
+	}
+	if includeSpec {
+		info.Spec = c.Spec.String()
+	}
+	return info
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	contracts := s.db.Contracts()
+	out := make([]ContractInfo, 0, len(contracts))
+	for _, c := range contracts {
+		out = append(out, s.contractInfo(c, false))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	c, ok := s.db.ByName(name)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no contract named %q", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.contractInfo(c, true))
+}
+
+// RegisterRequest registers one contract.
+type RegisterRequest struct {
+	Name string `json:"name"`
+	Spec string `json:"spec"`
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if strings.TrimSpace(req.Spec) == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("spec is required"))
+		return
+	}
+	c, err := s.db.RegisterLTL(req.Name, req.Spec)
+	if err != nil {
+		status := http.StatusBadRequest
+		if strings.Contains(err.Error(), "already registered") {
+			status = http.StatusConflict
+		}
+		writeErr(w, status, err)
+		return
+	}
+	if s.Persist != nil {
+		if err := s.Persist(s.db); err != nil {
+			writeErr(w, http.StatusInternalServerError, fmt.Errorf("registered but snapshot failed: %w", err))
+			return
+		}
+	}
+	writeJSON(w, http.StatusCreated, s.contractInfo(c, true))
+}
+
+// QueryRequest evaluates one temporal query.
+type QueryRequest struct {
+	Spec string `json:"spec"`
+	// Mode selects "opt" (default: both indexes) or "scan".
+	Mode string `json:"mode,omitempty"`
+}
+
+// QueryResponse lists the permitting contracts plus evaluation
+// statistics.
+type QueryResponse struct {
+	Matches    []string `json:"matches"`
+	Total      int      `json:"total"`
+	Candidates int      `json:"candidates"`
+	ElapsedUS  int64    `json:"elapsed_us"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, err := ltl.Parse(req.Spec)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	mode := core.Optimized
+	switch req.Mode {
+	case "", "opt":
+	case "scan":
+		mode = core.Unoptimized
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown mode %q", req.Mode))
+		return
+	}
+	res, err := s.db.QueryMode(spec, mode)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	out := QueryResponse{
+		Matches:    make([]string, 0, len(res.Matches)),
+		Total:      res.Stats.Total,
+		Candidates: res.Stats.Candidates,
+		ElapsedUS:  res.Stats.Elapsed().Microseconds(),
+	}
+	for _, c := range res.Matches {
+		out.Matches = append(out.Matches, c.Name)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// StatsResponse mirrors core.RegistrationStats for the wire.
+type StatsResponse struct {
+	Contracts        int   `json:"contracts"`
+	IndexNodes       int   `json:"index_nodes"`
+	IndexBytes       int   `json:"index_bytes"`
+	ProjectionRows   int   `json:"projection_rows"`
+	RegistrationMS   int64 `json:"registration_ms"`
+	IndexBuildMS     int64 `json:"index_build_ms"`
+	ProjectionsMS    int64 `json:"projections_ms"`
+	VocabularyEvents int   `json:"vocabulary_events"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	rs := s.db.RegistrationStats()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Contracts:        rs.Contracts,
+		IndexNodes:       rs.IndexNodes,
+		IndexBytes:       rs.IndexBytes,
+		ProjectionRows:   rs.ProjectionRows,
+		RegistrationMS:   rs.Total.Milliseconds(),
+		IndexBuildMS:     rs.IndexBuild.Milliseconds(),
+		ProjectionsMS:    rs.Projections.Milliseconds(),
+		VocabularyEvents: s.db.Vocabulary().Len(),
+	})
+}
+
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+// ListenAndServe runs the server until the context the caller manages
+// shuts the http.Server down. Exposed for cmd/ctdbd; tests use
+// httptest against the handler directly.
+func (s *Server) ListenAndServe(addr string) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return srv.ListenAndServe()
+}

@@ -1,0 +1,139 @@
+package vocab_test
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"contractdb/internal/vocab"
+)
+
+func TestAddLookup(t *testing.T) {
+	v := vocab.New()
+	id, err := v.Add("purchase")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 0 {
+		t.Errorf("first id = %d, want 0", id)
+	}
+	again, err := v.Add("purchase")
+	if err != nil || again != id {
+		t.Errorf("re-adding changed the id: %d vs %d (err=%v)", again, id, err)
+	}
+	got, ok := v.Lookup("purchase")
+	if !ok || got != id {
+		t.Errorf("Lookup = %d,%v", got, ok)
+	}
+	if _, ok := v.Lookup("nope"); ok {
+		t.Error("Lookup of unknown name succeeded")
+	}
+	if v.Name(id) != "purchase" {
+		t.Errorf("Name(%d) = %q", id, v.Name(id))
+	}
+	if v.Len() != 1 {
+		t.Errorf("Len = %d", v.Len())
+	}
+}
+
+func TestEmptyNameRejected(t *testing.T) {
+	if _, err := vocab.New().Add(""); err == nil {
+		t.Error("empty event name must be rejected")
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	v := vocab.New()
+	for i := 0; i < vocab.MaxEvents; i++ {
+		if _, err := v.Add(fmt.Sprintf("e%d", i)); err != nil {
+			t.Fatalf("add %d: %v", i, err)
+		}
+	}
+	if _, err := v.Add("overflow"); err == nil {
+		t.Error("65th event must be rejected")
+	}
+	// Existing names still resolve at capacity.
+	if _, err := v.Add("e0"); err != nil {
+		t.Errorf("re-adding an existing name at capacity failed: %v", err)
+	}
+}
+
+func TestSetOf(t *testing.T) {
+	v := vocab.MustFromNames("a", "b", "c")
+	s, err := v.SetOf("a", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if s.Format(v) != "{a,c}" {
+		t.Errorf("Format = %s", s.Format(v))
+	}
+	if _, err := v.SetOf("a", "zz"); err == nil {
+		t.Error("SetOf with unknown name must fail")
+	}
+}
+
+func TestSetAlgebraProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	union := func(a, b uint64) bool {
+		s, u := vocab.Set(a), vocab.Set(b)
+		return s.Union(u) == u.Union(s) && s.SubsetOf(s.Union(u)) && u.SubsetOf(s.Union(u))
+	}
+	if err := quick.Check(union, cfg); err != nil {
+		t.Error(err)
+	}
+	inter := func(a, b uint64) bool {
+		s, u := vocab.Set(a), vocab.Set(b)
+		return s.Intersect(u).SubsetOf(s) && s.Intersect(u).SubsetOf(u)
+	}
+	if err := quick.Check(inter, cfg); err != nil {
+		t.Error(err)
+	}
+	minus := func(a, b uint64) bool {
+		s, u := vocab.Set(a), vocab.Set(b)
+		return s.Minus(u).Intersect(u).IsEmpty() && s.Minus(u).SubsetOf(s)
+	}
+	if err := quick.Check(minus, cfg); err != nil {
+		t.Error(err)
+	}
+	lenIDs := func(a uint64) bool {
+		s := vocab.Set(a)
+		return len(s.IDs()) == s.Len()
+	}
+	if err := quick.Check(lenIDs, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetWithWithoutHas(t *testing.T) {
+	var s vocab.Set
+	s = s.With(3).With(17).With(63)
+	for _, id := range []vocab.EventID{3, 17, 63} {
+		if !s.Has(id) {
+			t.Errorf("missing %d", id)
+		}
+	}
+	if s.Has(4) {
+		t.Error("spurious member 4")
+	}
+	s = s.Without(17)
+	if s.Has(17) || s.Len() != 2 {
+		t.Errorf("Without failed: %v", s)
+	}
+}
+
+func TestIDsSorted(t *testing.T) {
+	s := vocab.Set(0).With(20).With(5).With(63).With(0)
+	ids := s.IDs()
+	want := []vocab.EventID{0, 5, 20, 63}
+	if len(ids) != len(want) {
+		t.Fatalf("IDs = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("IDs = %v, want %v", ids, want)
+		}
+	}
+}
