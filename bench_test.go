@@ -9,6 +9,8 @@
 //	BenchmarkTable2Datasets/*     — Table 2: translation cost per class
 //	BenchmarkFig5Scan/*           — Figure 5: unoptimized scan per DB size
 //	BenchmarkFig5Optimized/*      — Figure 5: optimized evaluation per DB size
+//	BenchmarkFig5Parallel/*       — sequential vs worker-pool candidate scan
+//	BenchmarkFindAny/*            — early-exit vs full match collection
 //	BenchmarkFig6/*               — Figure 6: per contract×query class
 //	BenchmarkIndexBuildPrefilter  — §7.4: prefilter insertion
 //	BenchmarkIndexBuildProjections— §7.4: projection precompute
@@ -130,6 +132,62 @@ func BenchmarkFig5Optimized(b *testing.B) {
 	for _, size := range []int{50, 100, 200, 400} {
 		b.Run(fmt.Sprintf("contracts=%d", size), func(b *testing.B) {
 			benchQueryMode(b, size, core.Mode{Prefilter: true, Bisim: true, Algorithm: core.AlgorithmNestedDFS})
+		})
+	}
+}
+
+// BenchmarkFig5Parallel compares the sequential candidate scan against
+// the worker-pool evaluation on the Fig. 5 workload at the largest
+// database size, for both the unoptimized scan (where per-candidate
+// work dominates and parallel speedup is near-linear in cores) and the
+// fully optimized mode. workers=1 is the sequential baseline; the
+// other widths exercise the pool. On a multi-core host workers=4
+// should deliver ≥2× the sequential throughput for the scan.
+func BenchmarkFig5Parallel(b *testing.B) {
+	const size = 400
+	db := contractDB(b, datagen.SimpleContracts, size)
+	queries := benchQueries(b, db.Vocabulary(), 3)
+	for _, cfg := range []struct {
+		name string
+		mode core.Mode
+	}{
+		{"scan", core.Mode{Algorithm: core.AlgorithmNestedDFS}},
+		{"opt", core.Mode{Prefilter: true, Bisim: true, Algorithm: core.AlgorithmNestedDFS}},
+	} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			mode := cfg.mode
+			mode.Parallelism = workers
+			b.Run(fmt.Sprintf("%s/workers=%d", cfg.name, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					q := queries[i%len(queries)]
+					if _, err := db.QueryMode(q, mode); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFindAny measures the early-exit mode against collecting the
+// full match set on the same workload.
+func BenchmarkFindAny(b *testing.B) {
+	db := contractDB(b, datagen.SimpleContracts, 200)
+	queries := benchQueries(b, db.Vocabulary(), 3)
+	for _, cfg := range []struct {
+		name string
+		mode core.Mode
+	}{
+		{"find-all", core.Mode{Prefilter: true, Bisim: true}},
+		{"find-any", core.Mode{Prefilter: true, Bisim: true, FindAny: true}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q := queries[i%len(queries)]
+				if _, err := db.QueryMode(q, cfg.mode); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -74,7 +75,8 @@ commands:
   init   -db FILE -events a,b,c         create an empty database
   gen    -db FILE -n N [-props P]       add N generated contracts (P patterns each)
   add    -db FILE -name NAME -spec LTL  register one contract
-  query  -db FILE -spec LTL [-mode opt|scan]  evaluate a query
+  query  -db FILE -spec LTL [-mode opt|scan] [-parallel N]
+         [-find-any] [-budget STEPS] [-timeout D]   evaluate a query
   show   -db FILE [-name NAME]          list contracts, or dump one automaton
   stats  -db FILE                       database and index statistics
   export -db FILE [-out FILE]           dump contracts in the corpus text format
@@ -192,6 +194,10 @@ func cmdQuery(args []string) error {
 	dbPath := fs.String("db", "", "database file")
 	spec := fs.String("spec", "", "LTL query")
 	mode := fs.String("mode", "opt", "evaluation mode: opt (indexed) or scan (unoptimized)")
+	parallel := fs.Int("parallel", 0, "worker-pool width (0 = GOMAXPROCS, 1 = sequential)")
+	findAny := fs.Bool("find-any", false, "stop at the first permitting contract")
+	budget := fs.Int("budget", 0, "kernel step budget per candidate check (0 = unlimited)")
+	timeout := fs.Duration("timeout", 0, "abort the evaluation after this long (0 = none)")
 	fs.Parse(args)
 	if *dbPath == "" || *spec == "" {
 		return fmt.Errorf("query: -db and -spec are required")
@@ -213,7 +219,16 @@ func cmdQuery(args []string) error {
 	default:
 		return fmt.Errorf("query: unknown -mode %q", *mode)
 	}
-	res, err := db.QueryMode(q, m)
+	m.Parallelism = *parallel
+	m.FindAny = *findAny
+	m.StepBudget = *budget
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := db.QueryModeCtx(ctx, q, m)
 	if err != nil {
 		return err
 	}

@@ -30,6 +30,9 @@ func main() {
 	dbPath := flag.String("db", "", "database snapshot file (created if missing)")
 	addr := flag.String("addr", ":8080", "listen address")
 	events := flag.String("events", "", "comma-separated vocabulary for a fresh database")
+	parallelism := flag.Int("parallelism", 0, "query worker-pool width (0 = GOMAXPROCS, 1 = sequential)")
+	queryTimeout := flag.Duration("query-timeout", 0, "server-side deadline per query evaluation (0 = none)")
+	stepBudget := flag.Int("step-budget", 0, "default kernel step budget per candidate check (0 = unlimited)")
 	flag.Parse()
 	if *dbPath == "" {
 		fmt.Fprintln(os.Stderr, "ctdbd: -db is required")
@@ -40,8 +43,13 @@ func main() {
 	if err != nil {
 		log.Fatalf("ctdbd: %v", err)
 	}
+	if *parallelism > 0 {
+		db.SetParallelism(*parallelism)
+	}
 	srv := server.New(db)
 	srv.Persist = func(db *core.DB) error { return save(db, *dbPath) }
+	srv.QueryTimeout = *queryTimeout
+	srv.StepBudget = *stepBudget
 
 	log.Printf("ctdbd: serving %d contracts on %s (db: %s)", db.Len(), *addr, *dbPath)
 	if err := srv.ListenAndServe(*addr); err != nil {

@@ -143,6 +143,22 @@ func Conjoin(clauses ...*Formula) *Formula {
 // behavior satisfies it), rather than merely allowing it. For
 // example, only a strictly non-refundable fare obliges "G !refund".
 
+// Abort sentinels returned by context- and budget-bounded queries
+// ((*Broker).QueryCtx / QueryModeCtx with Mode.StepBudget); match
+// with errors.Is.
+var (
+	// ErrCanceled reports a query aborted by its context before the
+	// candidate scan completed.
+	ErrCanceled = core.ErrCanceled
+	// ErrBudgetExceeded reports a query aborted because a candidate
+	// check exhausted its kernel step budget.
+	ErrBudgetExceeded = core.ErrBudgetExceeded
+)
+
+// DBStats combines the broker's offline registration counters with
+// its online query metrics, as returned by (*Broker).Stats.
+type DBStats = core.DBStats
+
 // Algorithm selects the permission-search kernel for Mode.Algorithm;
 // the zero value is the fast single-pass SCC search, and
 // AlgorithmNestedDFS is the paper's Algorithm 2 (used by the

@@ -19,6 +19,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -26,6 +27,7 @@ import (
 	"contractdb/internal/buchi"
 	"contractdb/internal/ltl"
 	"contractdb/internal/ltl2ba"
+	"contractdb/internal/metrics"
 	"contractdb/internal/permission"
 	"contractdb/internal/prefilter"
 	"contractdb/internal/vocab"
@@ -48,6 +50,12 @@ type Options struct {
 	// states; our GPVW pipeline occasionally produces much larger
 	// automata for the same specification).
 	MaxAutomatonStates int
+	// Parallelism is the number of workers evaluating a query's
+	// candidate set concurrently (the paper's §7.4 observation that
+	// per-contract checks are independent, applied to the online
+	// step). Zero selects GOMAXPROCS; 1 forces the sequential scan.
+	// Mode.Parallelism overrides it per query.
+	Parallelism int
 }
 
 // DefaultProjectionBudget bounds projection precomputation to event
@@ -75,6 +83,13 @@ func (o Options) projectionBudget() int {
 	return o.ProjectionBudget
 }
 
+func (o Options) parallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // Algorithm selects the permission-search kernel; see the permission
 // package. The zero value is the fast single-pass SCC search; the
 // paper's Algorithm 2 is available as AlgorithmNestedDFS for
@@ -95,6 +110,20 @@ type Mode struct {
 	// Algorithm selects the permission-search kernel used for every
 	// candidate check.
 	Algorithm Algorithm
+	// FindAny stops the evaluation as soon as one matching contract is
+	// found (broadcasting the early exit to all workers); the result
+	// then holds at least one match when any exists, not necessarily
+	// all. Find-all evaluations (FindAny false) always return the full
+	// match set in contract-id order regardless of parallelism.
+	FindAny bool
+	// StepBudget caps the kernel steps of each candidate check; a
+	// check exceeding it aborts the whole query with ErrBudgetExceeded.
+	// Zero is unlimited. See permission.PermitsCtx.
+	StepBudget int
+	// Parallelism overrides Options.Parallelism for this query when
+	// positive (1 forces a sequential scan, which the benchmarks use
+	// to compare against the worker pool on one database).
+	Parallelism int
 }
 
 // Optimized enables both techniques, the configuration the paper's
@@ -128,23 +157,25 @@ type Contract struct {
 
 // checkerFor returns a permission checker for the smallest projection
 // equivalent to the contract for queries citing the given events,
-// caching one checker per materialized quotient.
-func (c *Contract) checkerFor(queryEvents vocab.Set) *permission.Checker {
+// caching one checker per materialized quotient. The second result
+// reports whether the checker was served from the cache (false when a
+// quotient's checker had to be built on this call).
+func (c *Contract) checkerFor(queryEvents vocab.Set) (*permission.Checker, bool) {
 	c.projMu.Lock()
 	defer c.projMu.Unlock()
 	simplified := c.projections.For(queryEvents)
 	if simplified == c.auto {
-		return c.checker
+		return c.checker, true
 	}
 	if ch, ok := c.projCheckers[simplified]; ok {
-		return ch
+		return ch, true
 	}
 	ch := permission.NewChecker(simplified)
 	if c.projCheckers == nil {
 		c.projCheckers = make(map[*buchi.BA]*permission.Checker)
 	}
 	c.projCheckers[simplified] = ch
-	return ch
+	return ch, false
 }
 
 // Automaton returns the contract's Büchi automaton. Callers must not
@@ -169,16 +200,31 @@ type DB struct {
 	registerTime   time.Duration
 	projectionTime time.Duration
 	indexTime      time.Duration
+
+	// metrics is the always-on query observability registry, exposed
+	// via Stats and the server's /v1/metrics endpoint. Lock-free: it
+	// is updated outside db.mu.
+	metrics *metrics.Query
 }
 
 // NewDB returns an empty database over the given vocabulary.
 func NewDB(voc *vocab.Vocabulary, opts Options) *DB {
 	return &DB{
-		voc:    voc,
-		opts:   opts,
-		byName: make(map[string]*Contract),
-		index:  prefilter.New(opts.prefilterK()),
+		voc:     voc,
+		opts:    opts,
+		byName:  make(map[string]*Contract),
+		index:   prefilter.New(opts.prefilterK()),
+		metrics: &metrics.Query{},
 	}
+}
+
+// SetParallelism changes the worker-pool width for subsequent queries
+// (0 restores the GOMAXPROCS default). It exists so a deployment can
+// tune a loaded snapshot without re-registering.
+func (db *DB) SetParallelism(n int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.opts.Parallelism = n
 }
 
 // Vocabulary returns the database's shared event vocabulary.
@@ -287,6 +333,10 @@ type QueryStats struct {
 	Translate time.Duration // LTL → BA time for the query
 	Filter    time.Duration // prefilter candidate retrieval
 	Check     time.Duration // permission checks (including projection lookup)
+	// ProjPick is the summed per-candidate projection lookup time.
+	// Under a parallel evaluation workers overlap, so this is CPU
+	// time, not wall time, and is included in Check's wall clock.
+	ProjPick time.Duration
 
 	Permission permission.Stats // aggregated checker work counters
 }
@@ -318,51 +368,7 @@ func (db *DB) QueryLTL(src string) (*Result, error) {
 
 // QueryMode evaluates a query under an explicit optimization mode.
 func (db *DB) QueryMode(spec *ltl.Expr, mode Mode) (*Result, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-
-	var stats QueryStats
-	stats.Total = len(db.contracts)
-
-	t := time.Now()
-	qa, err := ltl2ba.Translate(db.voc, spec)
-	if err != nil {
-		return nil, fmt.Errorf("core: query: %w", err)
-	}
-	stats.Translate = time.Since(t)
-
-	candidates := db.contracts
-	if mode.Prefilter {
-		t = time.Now()
-		set := db.index.Candidates(qa)
-		stats.Filter = time.Since(t)
-		candidates = make([]*Contract, 0, set.Count())
-		for _, id := range set.Members() {
-			candidates = append(candidates, db.contracts[id])
-		}
-	}
-	stats.Candidates = len(candidates)
-
-	t = time.Now()
-	res := &Result{}
-	for _, c := range candidates {
-		target := c.checker
-		if mode.Bisim {
-			target = c.checkerFor(qa.Events)
-		}
-		ok, ps := target.PermitsAlgo(qa, mode.Algorithm)
-		stats.Checked++
-		stats.Permission.PairsVisited += ps.PairsVisited
-		stats.Permission.CycleSearches += ps.CycleSearches
-		stats.Permission.CycleVisited += ps.CycleVisited
-		if ok {
-			res.Matches = append(res.Matches, c)
-		}
-	}
-	stats.Check = time.Since(t)
-	stats.Permitted = len(res.Matches)
-	res.Stats = stats
-	return res, nil
+	return db.QueryModeCtx(nil, spec, mode)
 }
 
 // RegistrationStats reports the accumulated offline costs (§7.4).
@@ -419,40 +425,7 @@ func (db *DB) QueryObligation(spec *ltl.Expr) (*Result, error) {
 // over-approximates permission, while obligation needs its
 // complement), so only the kernel and projections apply.
 func (db *DB) QueryObligationMode(spec *ltl.Expr, mode Mode) (*Result, error) {
-	negated := ltl.Not(spec)
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-
-	var stats QueryStats
-	stats.Total = len(db.contracts)
-	t := time.Now()
-	qa, err := ltl2ba.Translate(db.voc, negated)
-	if err != nil {
-		return nil, fmt.Errorf("core: obligation query: %w", err)
-	}
-	stats.Translate = time.Since(t)
-
-	t = time.Now()
-	res := &Result{}
-	for _, c := range db.contracts {
-		target := c.checker
-		if mode.Bisim {
-			target = c.checkerFor(qa.Events)
-		}
-		permitsNegation, ps := target.PermitsAlgo(qa, mode.Algorithm)
-		stats.Checked++
-		stats.Permission.PairsVisited += ps.PairsVisited
-		stats.Permission.CycleSearches += ps.CycleSearches
-		stats.Permission.CycleVisited += ps.CycleVisited
-		if !permitsNegation {
-			res.Matches = append(res.Matches, c)
-		}
-	}
-	stats.Check = time.Since(t)
-	stats.Candidates = stats.Checked
-	stats.Permitted = len(res.Matches)
-	res.Stats = stats
-	return res, nil
+	return db.QueryObligationModeCtx(nil, spec, mode)
 }
 
 // QueryObligationLTL parses and evaluates an obligation query.

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"contractdb/internal/buchi"
+	"contractdb/internal/ltl"
+	"contractdb/internal/ltl2ba"
+	"contractdb/internal/metrics"
+	"contractdb/internal/permission"
+)
+
+// Errors distinguishing aborted queries from malformed ones,
+// re-exported from the permission kernels so callers need only this
+// package. Both satisfy errors.Is against the permission originals.
+var (
+	// ErrCanceled reports a query aborted by its context (cancellation
+	// or deadline) before the candidate scan completed.
+	ErrCanceled = permission.ErrCanceled
+	// ErrBudgetExceeded reports a query aborted because a candidate
+	// check exhausted Mode.StepBudget.
+	ErrBudgetExceeded = permission.ErrBudgetExceeded
+)
+
+// errFoundAny is the cancellation cause broadcast to the worker pool
+// when a FindAny evaluation has its witness; it is never returned.
+var errFoundAny = errors.New("core: find-any early exit")
+
+// QueryCtx evaluates a query with both optimizations enabled under a
+// context: canceling ctx (or passing one with an expired deadline)
+// aborts the evaluation mid-search with ErrCanceled.
+func (db *DB) QueryCtx(ctx context.Context, spec *ltl.Expr) (*Result, error) {
+	return db.QueryModeCtx(ctx, spec, Optimized)
+}
+
+// QueryModeCtx is QueryMode under a context. A nil ctx never cancels.
+// The candidate scan runs on a worker pool of Mode.Parallelism (or
+// Options.Parallelism) goroutines; find-all results are returned in
+// contract-id order regardless of worker interleaving.
+func (db *DB) QueryModeCtx(ctx context.Context, spec *ltl.Expr, mode Mode) (*Result, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	db.metrics.Queries.Inc()
+
+	var stats QueryStats
+	stats.Total = len(db.contracts)
+
+	t := time.Now()
+	qa, err := ltl2ba.Translate(db.voc, spec)
+	if err != nil {
+		db.metrics.Errored.Inc()
+		return nil, fmt.Errorf("core: query: %w", err)
+	}
+	stats.Translate = time.Since(t)
+	db.metrics.Translate.Observe(stats.Translate)
+
+	candidates := db.contracts
+	if mode.Prefilter {
+		t = time.Now()
+		set := db.index.Candidates(qa)
+		stats.Filter = time.Since(t)
+		db.metrics.Prefilter.Observe(stats.Filter)
+		candidates = make([]*Contract, 0, set.Count())
+		for _, id := range set.Members() {
+			candidates = append(candidates, db.contracts[id])
+		}
+	}
+	stats.Candidates = len(candidates)
+	db.metrics.CandidatesPruned.Add(int64(stats.Total - len(candidates)))
+
+	return db.finishQuery(ctx, qa, candidates, mode, false, &stats)
+}
+
+// QueryObligationModeCtx is QueryObligationMode under a context; see
+// QueryModeCtx for cancellation and parallelism semantics.
+func (db *DB) QueryObligationModeCtx(ctx context.Context, spec *ltl.Expr, mode Mode) (*Result, error) {
+	negated := ltl.Not(spec)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	db.metrics.Queries.Inc()
+
+	var stats QueryStats
+	stats.Total = len(db.contracts)
+
+	t := time.Now()
+	qa, err := ltl2ba.Translate(db.voc, negated)
+	if err != nil {
+		db.metrics.Errored.Inc()
+		return nil, fmt.Errorf("core: obligation query: %w", err)
+	}
+	stats.Translate = time.Since(t)
+	db.metrics.Translate.Observe(stats.Translate)
+	stats.Candidates = len(db.contracts)
+
+	return db.finishQuery(ctx, qa, db.contracts, mode, true, &stats)
+}
+
+// finishQuery runs the candidate scan, folds its accounting into the
+// metrics registry, and assembles the Result. invert selects
+// obligation semantics (match = does NOT permit the negated query).
+// Callers hold db.mu.RLock.
+func (db *DB) finishQuery(ctx context.Context, qa *buchi.BA, candidates []*Contract, mode Mode, invert bool, stats *QueryStats) (*Result, error) {
+	t := time.Now()
+	matches, err := db.evalCandidates(ctx, qa, candidates, mode, invert, stats)
+	stats.Check = time.Since(t)
+	db.metrics.Kernel.Observe(stats.Check)
+	db.metrics.ProjectionPick.Observe(stats.ProjPick)
+	db.metrics.CandidatesScanned.Add(int64(stats.Checked))
+	db.metrics.KernelSteps.Add(int64(stats.Permission.Steps))
+	if err != nil {
+		db.metrics.Errored.Inc()
+		switch {
+		case errors.Is(err, ErrBudgetExceeded):
+			db.metrics.BudgetExceeded.Inc()
+		case errors.Is(err, ErrCanceled):
+			db.metrics.Canceled.Inc()
+		}
+		return nil, fmt.Errorf("core: query: %w", err)
+	}
+	stats.Permitted = len(matches)
+	db.metrics.Permitted.Add(int64(len(matches)))
+	return &Result{Matches: matches, Stats: *stats}, nil
+}
+
+// checkAgg accumulates one worker's scan accounting; merged into
+// QueryStats and the metrics registry after the pool drains, so the
+// hot loop touches no shared state.
+type checkAgg struct {
+	checked    int
+	projPick   time.Duration
+	projHits   int64
+	projMisses int64
+	perm       permission.Stats
+}
+
+// checkOne evaluates a single candidate: pick the smallest equivalent
+// projection (when Bisim is on), then run the selected kernel under
+// the context and step budget.
+func (db *DB) checkOne(ctx context.Context, qa *buchi.BA, c *Contract, mode Mode, agg *checkAgg) (bool, error) {
+	target := c.checker
+	if mode.Bisim {
+		t := time.Now()
+		var hit bool
+		target, hit = c.checkerFor(qa.Events)
+		agg.projPick += time.Since(t)
+		if hit {
+			agg.projHits++
+		} else {
+			agg.projMisses++
+		}
+	}
+	ok, ps, err := target.PermitsCtx(ctx, qa, mode.Algorithm, mode.StepBudget)
+	agg.checked++
+	agg.perm.Add(ps)
+	return ok, err
+}
+
+// evalCandidates scans the candidate set, sequentially or on a worker
+// pool, and returns the matches in candidate (contract-id) order.
+func (db *DB) evalCandidates(ctx context.Context, qa *buchi.BA, candidates []*Contract, mode Mode, invert bool, stats *QueryStats) ([]*Contract, error) {
+	workers := mode.Parallelism
+	if workers <= 0 {
+		workers = db.opts.parallelism()
+	}
+	if workers > len(candidates) {
+		workers = len(candidates)
+	}
+	if workers <= 1 {
+		return db.evalSequential(ctx, qa, candidates, mode, invert, stats)
+	}
+
+	// The pool shares one cancellable context: a FindAny witness, a
+	// worker failure (budget), or the caller's own cancellation all
+	// broadcast through it. context.Cause keeps the *first* reason.
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+
+	matched := make([]bool, len(candidates))
+	aggs := make([]checkAgg, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(agg *checkAgg) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(candidates) || cctx.Err() != nil {
+					return
+				}
+				ok, err := db.checkOne(cctx, qa, candidates[i], mode, agg)
+				if err != nil {
+					cancel(err)
+					return
+				}
+				if ok != invert {
+					matched[i] = true
+					if mode.FindAny {
+						cancel(errFoundAny)
+						return
+					}
+				}
+			}
+		}(&aggs[w])
+	}
+	wg.Wait()
+
+	for i := range aggs {
+		stats.Checked += aggs[i].checked
+		stats.ProjPick += aggs[i].projPick
+		stats.Permission.Add(aggs[i].perm)
+		db.metrics.ProjCacheHits.Add(aggs[i].projHits)
+		db.metrics.ProjCacheMisses.Add(aggs[i].projMisses)
+	}
+
+	// Resolve the abort reason. The caller's cancellation wins; then
+	// the first real worker error; a FindAny early exit is success
+	// (in-flight checks it interrupted report ErrCanceled, which the
+	// cause check below deliberately absorbs).
+	if err := ctx.Err(); err != nil {
+		return nil, ErrCanceled
+	}
+	if cause := context.Cause(cctx); cause != nil && !errors.Is(cause, errFoundAny) {
+		return nil, cause
+	}
+	out := make([]*Contract, 0, len(candidates))
+	for i, m := range matched {
+		if m {
+			out = append(out, candidates[i])
+		}
+	}
+	return out, nil
+}
+
+func (db *DB) evalSequential(ctx context.Context, qa *buchi.BA, candidates []*Contract, mode Mode, invert bool, stats *QueryStats) ([]*Contract, error) {
+	var agg checkAgg
+	var out []*Contract
+	for _, c := range candidates {
+		ok, err := db.checkOne(ctx, qa, c, mode, &agg)
+		if err != nil {
+			db.mergeAgg(&agg, stats)
+			return nil, err
+		}
+		if ok != invert {
+			out = append(out, c)
+			if mode.FindAny {
+				break
+			}
+		}
+	}
+	db.mergeAgg(&agg, stats)
+	return out, nil
+}
+
+func (db *DB) mergeAgg(agg *checkAgg, stats *QueryStats) {
+	stats.Checked += agg.checked
+	stats.ProjPick += agg.projPick
+	stats.Permission.Add(agg.perm)
+	db.metrics.ProjCacheHits.Add(agg.projHits)
+	db.metrics.ProjCacheMisses.Add(agg.projMisses)
+}
+
+// DBStats combines the offline registration counters with the online
+// query metrics — the payload of the server's /v1/metrics endpoint.
+type DBStats struct {
+	Registration RegistrationStats
+	Queries      metrics.QuerySnapshot
+}
+
+// Stats returns a point-in-time view of the database's registration
+// counters and query metrics. Safe for concurrent use with queries
+// and registration.
+func (db *DB) Stats() DBStats {
+	return DBStats{
+		Registration: db.RegistrationStats(),
+		Queries:      db.metrics.Snapshot(),
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"contractdb/internal/datagen"
+)
+
+// TestConcurrentRegisterQueryStats hammers one database from many
+// goroutines mixing registration, optimized queries (which exercise
+// the lazy projection-checker cache behind projMu), obligation
+// queries, budgeted/canceled queries, and stats snapshots. It exists
+// to run under -race: correctness of individual answers is covered
+// elsewhere, interleaving safety is covered here.
+func TestConcurrentRegisterQueryStats(t *testing.T) {
+	voc := datagen.NewVocabulary()
+	db := NewDB(voc, Options{MaxAutomatonStates: 300})
+
+	// A few contracts up front so early queries have work to do.
+	seedGen := datagen.New(voc, 21)
+	for db.Len() < 8 {
+		if _, err := db.Register("", seedGen.Specification(3)); err != nil {
+			continue
+		}
+	}
+
+	const (
+		registrars   = 3
+		perRegistrar = 6
+		queriers     = 4
+		perQuerier   = 12
+		watchers     = 2
+		perWatcher   = 20
+	)
+	var wg sync.WaitGroup
+
+	for r := 0; r < registrars; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			gen := datagen.New(voc, int64(100+r))
+			for i := 0; i < perRegistrar; i++ {
+				name := fmt.Sprintf("r%d-%d", r, i)
+				// Unsatisfiable draws fail registration; that path is
+				// part of what we are stressing.
+				_, _ = db.Register(name, gen.Specification(3))
+			}
+		}(r)
+	}
+
+	for q := 0; q < queriers; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			gen := datagen.New(voc, int64(200+q))
+			for i := 0; i < perQuerier; i++ {
+				spec := gen.Specification(2)
+				mode := Optimized // Bisim on: races on projMu if broken
+				mode.Parallelism = 1 + (i % 4)
+				mode.FindAny = i%3 == 0
+				if _, err := db.QueryMode(spec, mode); err != nil {
+					t.Errorf("querier %d: %v", q, err)
+					return
+				}
+				switch i % 4 {
+				case 0:
+					if _, err := db.QueryObligationMode(spec, Mode{Bisim: true, Parallelism: 2}); err != nil {
+						t.Errorf("querier %d obligation: %v", q, err)
+						return
+					}
+				case 1:
+					// Budgeted query: either completes or aborts with the
+					// budget sentinel; both are valid under load.
+					if _, err := db.QueryMode(spec, Mode{StepBudget: 50, Parallelism: 2}); err != nil && !errors.Is(err, ErrBudgetExceeded) {
+						t.Errorf("querier %d budget: %v", q, err)
+						return
+					}
+				case 2:
+					ctx, cancel := context.WithCancel(context.Background())
+					cancel()
+					if _, err := db.QueryModeCtx(ctx, spec, Mode{Parallelism: 2}); !errors.Is(err, ErrCanceled) {
+						t.Errorf("querier %d cancel: err = %v, want ErrCanceled", q, err)
+						return
+					}
+				}
+			}
+		}(q)
+	}
+
+	for w := 0; w < watchers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWatcher; i++ {
+				_ = db.Stats()
+				_ = db.RegistrationStats()
+				_ = db.Contracts()
+				_ = db.Len()
+			}
+		}()
+	}
+
+	wg.Wait()
+
+	// Every registrar draw that survived translation must be present.
+	st := db.Stats()
+	if st.Registration.Contracts != db.Len() {
+		t.Fatalf("stats contracts %d != db len %d", st.Registration.Contracts, db.Len())
+	}
+	if st.Queries.Queries == 0 {
+		t.Fatal("no queries accounted")
+	}
+}

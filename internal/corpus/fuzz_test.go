@@ -1,0 +1,54 @@
+package corpus
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRoundTrip feeds arbitrary text through the corpus reader and
+// asserts the parse → export → re-parse pipeline never panics, always
+// re-reads its own output, and is idempotent (the second export is
+// byte-identical to the first).
+func FuzzRoundTrip(f *testing.F) {
+	f.Add("# airfare dataset\nTicketA\tG(dateChange -> !F refund)\n")
+	f.Add("A\tG(!a)\nB\tF(b && X c)\n")
+	f.Add("  weird name \t a U b \n\n# trailing comment")
+	f.Add("dup\tG a\ndup\tF a\n")
+	f.Add("no tab here")
+	f.Add("name\t(a")
+	f.Add("\t\n#\n \t \n")
+	f.Add("n\ta W b || c R d <-> e B f\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		entries, err := Read(strings.NewReader(data))
+		if err != nil {
+			return // rejected input: only the absence of panics matters
+		}
+		var first bytes.Buffer
+		if err := Write(&first, entries); err != nil {
+			t.Fatalf("Write rejected entries its own Read produced: %v", err)
+		}
+		reread, err := Read(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("Read rejected its own export: %v\nexport:\n%s", err, first.String())
+		}
+		if len(reread) != len(entries) {
+			t.Fatalf("round trip changed entry count: %d -> %d", len(entries), len(reread))
+		}
+		for i := range entries {
+			if reread[i].Name != entries[i].Name {
+				t.Fatalf("entry %d: name %q -> %q", i, entries[i].Name, reread[i].Name)
+			}
+			if got, want := reread[i].Spec.String(), entries[i].Spec.String(); got != want {
+				t.Fatalf("entry %d (%s): spec %q -> %q", i, entries[i].Name, want, got)
+			}
+		}
+		var second bytes.Buffer
+		if err := Write(&second, reread); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("export not idempotent:\nfirst:\n%s\nsecond:\n%s", first.String(), second.String())
+		}
+	})
+}

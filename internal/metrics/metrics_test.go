@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters only go up
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value() = %d, want 5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, us := range []int64{0, 1, 3, 1000, 1_000_000} {
+		h.Observe(time.Duration(us) * time.Microsecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("Count = %d, want 5", s.Count)
+	}
+	if s.SumUS != 1_001_004 {
+		t.Fatalf("SumUS = %d, want 1001004", s.SumUS)
+	}
+	if s.MaxUS != 1_000_000 {
+		t.Fatalf("MaxUS = %d, want 1000000", s.MaxUS)
+	}
+	if s.AvgUS != 1_001_004/5 {
+		t.Fatalf("AvgUS = %d, want %d", s.AvgUS, 1_001_004/5)
+	}
+	// Median observation is 3µs → bucket upper bound 3.
+	if s.P50US != 3 {
+		t.Fatalf("P50US = %d, want 3", s.P50US)
+	}
+	if s.P99US < 1_000_000-1 {
+		t.Fatalf("P99US = %d, want ≥ the top observation's bucket", s.P99US)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second)
+	s := h.Snapshot()
+	if s.Count != 1 || s.SumUS != 0 || s.MaxUS != 0 {
+		t.Fatalf("negative observation not clamped: %+v", s)
+	}
+}
+
+func TestQuerySnapshotConcurrent(t *testing.T) {
+	var q Query
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				q.Queries.Inc()
+				q.KernelSteps.Add(3)
+				q.Kernel.Observe(5 * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	s := q.Snapshot()
+	if s.Queries != workers*per {
+		t.Fatalf("Queries = %d, want %d", s.Queries, workers*per)
+	}
+	if s.KernelSteps != 3*workers*per {
+		t.Fatalf("KernelSteps = %d, want %d", s.KernelSteps, 3*workers*per)
+	}
+	if s.Kernel.Count != workers*per {
+		t.Fatalf("Kernel.Count = %d, want %d", s.Kernel.Count, workers*per)
+	}
+}
+
+func TestPercentileEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.P50US != 0 || s.P99US != 0 || s.AvgUS != 0 {
+		t.Fatalf("empty histogram snapshot not all zero: %+v", s)
+	}
+}

@@ -1,0 +1,132 @@
+package permission_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"contractdb/internal/buchi"
+	"contractdb/internal/datagen"
+	"contractdb/internal/ltl2ba"
+	"contractdb/internal/permission"
+)
+
+// diffWorkload draws a seeded Dwyer-pattern workload: nContracts
+// checkers and nQueries query automata over the evaluation vocabulary.
+func diffWorkload(t *testing.T, seed int64, nContracts, nQueries int) ([]*buchi.BA, []*buchi.BA) {
+	t.Helper()
+	voc := datagen.NewVocabulary()
+	gen := datagen.New(voc, seed)
+	var contracts []*buchi.BA
+	for len(contracts) < nContracts {
+		a, err := ltl2ba.TranslateBounded(voc, gen.Specification(3), 200)
+		if err != nil || a.IsEmpty() {
+			continue // oversized or unsatisfiable: redraw
+		}
+		contracts = append(contracts, a)
+	}
+	var queries []*buchi.BA
+	for len(queries) < nQueries {
+		qa, err := ltl2ba.Translate(voc, gen.Specification(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qa.IsEmpty() {
+			continue
+		}
+		queries = append(queries, qa)
+	}
+	return contracts, queries
+}
+
+// TestKernelDifferential cross-validates every kernel configuration on
+// seeded random workloads: the SCC pass, the paper's Algorithm 2 with
+// seeds, Algorithm 2 without seeds, and the budget-instrumented
+// PermitsCtx path must all return the same verdict for every
+// (contract, query) pair.
+func TestKernelDifferential(t *testing.T) {
+	for _, seed := range []int64{1, 42, 1234} {
+		contracts, queries := diffWorkload(t, seed, 10, 8)
+		for ci, ca := range contracts {
+			withSeeds := permission.NewChecker(ca)
+			noSeeds := permission.NewChecker(ca, permission.WithoutSeeds())
+			for qi, qa := range queries {
+				scc, _ := withSeeds.PermitsAlgo(qa, permission.SCC)
+				nested, _ := withSeeds.PermitsAlgo(qa, permission.NestedDFS)
+				nestedNoSeeds, _ := noSeeds.PermitsAlgo(qa, permission.NestedDFS)
+				if scc != nested || nested != nestedNoSeeds {
+					t.Fatalf("seed %d contract %d query %d: verdicts diverge: scc=%v nested=%v nested-no-seeds=%v",
+						seed, ci, qi, scc, nested, nestedNoSeeds)
+				}
+				// A generous budget must not change the verdict, and a
+				// completed search reports no error.
+				for _, algo := range []permission.Algorithm{permission.SCC, permission.NestedDFS} {
+					ok, st, err := withSeeds.PermitsCtx(context.Background(), qa, algo, 1<<30)
+					if err != nil {
+						t.Fatalf("seed %d contract %d query %d algo %d: unexpected error %v", seed, ci, qi, algo, err)
+					}
+					if ok != scc {
+						t.Fatalf("seed %d contract %d query %d algo %d: budgeted verdict %v != %v", seed, ci, qi, algo, ok, scc)
+					}
+					if st.Steps == 0 {
+						t.Fatalf("seed %d contract %d query %d algo %d: completed search reports zero steps", seed, ci, qi, algo)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPermitsCtxCanceled verifies an already-canceled context aborts
+// before any expansion, for both kernels.
+func TestPermitsCtxCanceled(t *testing.T) {
+	contracts, queries := diffWorkload(t, 7, 1, 1)
+	ch := permission.NewChecker(contracts[0])
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, algo := range []permission.Algorithm{permission.SCC, permission.NestedDFS} {
+		_, st, err := ch.PermitsCtx(ctx, queries[0], algo, 0)
+		if !errors.Is(err, permission.ErrCanceled) {
+			t.Fatalf("algo %d: err = %v, want ErrCanceled", algo, err)
+		}
+		if st.Steps != 0 {
+			t.Fatalf("algo %d: canceled-before-start search did %d steps", algo, st.Steps)
+		}
+	}
+}
+
+// TestPermitsCtxBudget verifies a tiny step budget aborts the search
+// mid-expansion with ErrBudgetExceeded and that the consumed steps
+// respect the cap.
+func TestPermitsCtxBudget(t *testing.T) {
+	contracts, queries := diffWorkload(t, 11, 6, 6)
+	for _, algo := range []permission.Algorithm{permission.SCC, permission.NestedDFS} {
+		aborted := false
+		for _, ca := range contracts {
+			ch := permission.NewChecker(ca)
+			for _, qa := range queries {
+				// Establish the unbounded cost, then rerun with a budget
+				// strictly below it.
+				_, full, err := ch.PermitsCtx(nil, qa, algo, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if full.Steps < 2 {
+					continue // trivial product: nothing to interrupt
+				}
+				budget := full.Steps / 2
+				_, st, err := ch.PermitsCtx(nil, qa, algo, budget)
+				if !errors.Is(err, permission.ErrBudgetExceeded) {
+					t.Fatalf("algo %d: err = %v, want ErrBudgetExceeded", algo, err)
+				}
+				if st.Steps > budget+1 {
+					t.Fatalf("algo %d: %d steps consumed under budget %d", algo, st.Steps, budget)
+				}
+				aborted = true
+			}
+		}
+		if !aborted {
+			t.Fatalf("algo %d: no search was interrupted; workload too trivial", algo)
+		}
+	}
+}

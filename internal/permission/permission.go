@@ -24,7 +24,23 @@
 package permission
 
 import (
+	"context"
+	"errors"
+
 	"contractdb/internal/buchi"
+)
+
+// Sentinel errors for aborted searches. Both kernels check the
+// abort conditions as they expand the product graph, so a search
+// stops mid-expansion instead of running the worst-case PSPACE
+// procedure to completion.
+var (
+	// ErrCanceled is returned when the search's context is canceled
+	// or its deadline expires before a verdict is reached.
+	ErrCanceled = errors.New("permission: search canceled")
+	// ErrBudgetExceeded is returned when the search exhausts its kernel
+	// step budget before reaching a verdict.
+	ErrBudgetExceeded = errors.New("permission: step budget exceeded")
 )
 
 // Stats reports work done by a single Permits call, used by the
@@ -33,6 +49,16 @@ type Stats struct {
 	PairsVisited  int // distinct product pairs expanded in the outer DFS
 	CycleSearches int // nested searches started (knots tried)
 	CycleVisited  int // (pair, flag) states expanded across nested searches
+	Steps         int // kernel steps consumed (pairs + cycle nodes), the budget unit
+}
+
+// Add accumulates another call's counters, for callers aggregating
+// across many checks.
+func (s *Stats) Add(o Stats) {
+	s.PairsVisited += o.PairsVisited
+	s.CycleSearches += o.CycleSearches
+	s.CycleVisited += o.CycleVisited
+	s.Steps += o.Steps
 }
 
 // Algorithm selects the search strategy. Both return identical
@@ -114,12 +140,35 @@ func (c *Checker) PermitsStats(query *buchi.BA) (bool, Stats) {
 // precomputation, so the experiment harness can compare them on one
 // checker.
 func (c *Checker) PermitsAlgo(query *buchi.BA, algo Algorithm) (bool, Stats) {
+	ok, st, _ := c.PermitsCtx(nil, query, algo, 0)
+	return ok, st
+}
+
+// PermitsCtx runs the check under a context and a kernel step budget,
+// so a worst-case-hard search can be deadlined, aborted, or bounded
+// instead of hanging its caller. A nil ctx never cancels;
+// stepBudget ≤ 0 is unlimited. One step is one product pair (or
+// nested-search node) expansion, the unit Stats.Steps reports.
+//
+// The returned error is nil for a completed search, ErrCanceled when
+// the context fired first, or ErrBudgetExceeded when the budget ran
+// out; the verdict is meaningless when the error is non-nil. Stats
+// always reflect the work actually performed, so aborted searches
+// still account their partial expansion.
+func (c *Checker) PermitsCtx(ctx context.Context, query *buchi.BA, algo Algorithm, stepBudget int) (bool, Stats, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return false, Stats{}, ErrCanceled
+		}
+	}
 	s := &search{
 		contract: c.contract,
 		query:    query,
 		checker:  c,
 		nc:       c.contract.NumStates(),
 		nq:       query.NumStates(),
+		ctx:      ctx,
+		budget:   stepBudget,
 	}
 	s.visited = make([]bool, s.nc*s.nq)
 	// Pre-resolve which query labels cite only contract events
@@ -132,11 +181,16 @@ func (c *Checker) PermitsAlgo(query *buchi.BA, algo Algorithm) (bool, Stats) {
 			s.edgeOK[q][i] = e.Label.Vars().SubsetOf(c.contract.Events)
 		}
 	}
+	var found bool
 	if algo == SCC {
-		return s.sccSearch(), s.stats
+		found = s.sccSearch()
+	} else {
+		found = s.visit(c.contract.Init, query.Init)
 	}
-	found := s.visit(c.contract.Init, query.Init)
-	return found, s.stats
+	if s.stop != nil {
+		return false, s.stats, s.stop
+	}
+	return found, s.stats, nil
 }
 
 // Check is a convenience for one-shot use: it builds a Checker and
@@ -155,10 +209,43 @@ type search struct {
 	edgeOK  [][]bool // query edge index → cites only contract events
 	stats   Stats
 
+	// abort plumbing: ctx (nil = uncancellable) is polled every
+	// ctxPollMask+1 steps, budget ≤ 0 is unlimited, and stop latches
+	// the abort reason so recursive kernels unwind promptly.
+	ctx    context.Context
+	budget int
+	stop   error
+
 	// cycle-search scratch. The generation counter makes "reset
 	// between knots" O(1) instead of an O(|product|) clear per knot.
 	cycleSeen []uint32 // generation at which (pair, flag) was visited
 	cycleGen  uint32
+}
+
+// ctxPollMask amortizes the context check: an atomic-free counter test
+// on every step, a ctx.Err() call every 256th. Product expansion steps
+// are tens of nanoseconds, so cancellation latency stays ≪ 1ms.
+const ctxPollMask = 0xff
+
+// tick consumes one kernel step. It returns true when the search must
+// abort — budget exhausted or context done — and latches the reason in
+// s.stop so callers at any recursion depth see it.
+func (s *search) tick() bool {
+	if s.stop != nil {
+		return true
+	}
+	s.stats.Steps++
+	if s.budget > 0 && s.stats.Steps > s.budget {
+		s.stop = ErrBudgetExceeded
+		return true
+	}
+	if s.ctx != nil && s.stats.Steps&ctxPollMask == 0 {
+		if s.ctx.Err() != nil {
+			s.stop = ErrCanceled
+			return true
+		}
+	}
+	return false
 }
 
 func (s *search) pair(cs, qs buchi.StateID) int { return int(cs)*s.nq + int(qs) }
@@ -166,8 +253,14 @@ func (s *search) pair(cs, qs buchi.StateID) int { return int(cs)*s.nq + int(qs) 
 // visit is the outer DFS of Algorithm 2: it enumerates reachable
 // product pairs and starts a nested cycle search at every viable knot.
 func (s *search) visit(cs, qs buchi.StateID) bool {
+	if s.stop != nil {
+		return false
+	}
 	p := s.pair(cs, qs)
 	if s.visited[p] {
+		return false
+	}
+	if s.tick() {
 		return false
 	}
 	s.visited[p] = true
@@ -219,6 +312,9 @@ func (s *search) cycleSearch(kc, kq buchi.StateID) bool {
 		}
 		if s.cycleSeen[key] == s.cycleGen {
 			continue
+		}
+		if s.tick() {
+			return false
 		}
 		s.cycleSeen[key] = s.cycleGen
 		s.stats.CycleVisited++

@@ -36,6 +36,9 @@ func (s *search) sccSearch() bool {
 		cs := buchi.StateID(int(v) / s.nq)
 		qs := buchi.StateID(int(v) % s.nq)
 		if f.ci == 0 && f.qi == 0 && index[v] == -1 {
+			if s.tick() {
+				return false
+			}
 			index[v] = next
 			low[v] = next
 			next++

@@ -90,8 +90,21 @@ func (c *Client) Contract(name string) (ContractInfo, error) {
 // Query evaluates a temporal query; mode "" or "opt" uses the
 // indexes, "scan" the unoptimized baseline.
 func (c *Client) Query(spec, mode string) (QueryResponse, error) {
+	return c.QueryRequest(QueryRequest{Spec: spec, Mode: mode})
+}
+
+// QueryRequest evaluates a query with full control over the request
+// (find-any mode, per-request step budget).
+func (c *Client) QueryRequest(req QueryRequest) (QueryResponse, error) {
 	var out QueryResponse
-	err := c.do(http.MethodPost, "/v1/query", QueryRequest{Spec: spec, Mode: mode}, &out)
+	err := c.do(http.MethodPost, "/v1/query", req, &out)
+	return out, err
+}
+
+// Metrics fetches the per-stage query metrics.
+func (c *Client) Metrics() (MetricsResponse, error) {
+	var out MetricsResponse
+	err := c.do(http.MethodGet, "/v1/metrics", nil, &out)
 	return out, err
 }
 

@@ -9,14 +9,22 @@
 //	GET  /v1/contracts           list registered contracts
 //	GET  /v1/contracts/{name}    one contract's spec and automaton stats
 //	POST /v1/contracts           register {"name": ..., "spec": ...}
-//	POST /v1/query               evaluate {"spec": ..., "mode": "opt"|"scan"}
+//	POST /v1/query               evaluate {"spec": ..., "mode": "opt"|"scan", ...}
 //	GET  /v1/stats               registration/index statistics
+//	GET  /v1/metrics             per-stage query metrics (expvar-style JSON)
 //
 // All request and response bodies are JSON. Registration is
 // serialized by the engine; queries run concurrently.
+//
+// Query evaluation respects the request context: a client that
+// disconnects or times out aborts the search mid-expansion (HTTP 408
+// if the response can still be written), and a kernel step budget —
+// per request or the server-wide default — turns a worst-case-hard
+// search into a prompt 503 instead of a hung connection.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -26,6 +34,7 @@ import (
 
 	"contractdb/internal/core"
 	"contractdb/internal/ltl"
+	"contractdb/internal/metrics"
 )
 
 // Server wires a core.DB to an http.Handler. Create with New; the
@@ -36,6 +45,12 @@ type Server struct {
 	// Persist, when non-nil, is invoked after every successful
 	// registration so the operator can snapshot the database.
 	Persist func(*core.DB) error
+	// QueryTimeout, when positive, bounds every query evaluation in
+	// addition to the client's own context.
+	QueryTimeout time.Duration
+	// StepBudget is the default kernel step budget applied to queries
+	// that do not set their own; zero is unlimited.
+	StepBudget int
 }
 
 // New returns a server for the database.
@@ -47,6 +62,7 @@ func New(db *core.DB) *Server {
 	s.mux.HandleFunc("POST /v1/contracts", s.handleRegister)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	return s
 }
 
@@ -172,6 +188,12 @@ type QueryRequest struct {
 	Spec string `json:"spec"`
 	// Mode selects "opt" (default: both indexes) or "scan".
 	Mode string `json:"mode,omitempty"`
+	// FindAny stops at the first permitting contract instead of
+	// collecting all of them.
+	FindAny bool `json:"find_any,omitempty"`
+	// StepBudget caps each candidate check's kernel steps; 0 uses the
+	// server default, -1 forces unlimited.
+	StepBudget int `json:"step_budget,omitempty"`
 }
 
 // QueryResponse lists the permitting contracts plus evaluation
@@ -203,9 +225,31 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown mode %q", req.Mode))
 		return
 	}
-	res, err := s.db.QueryMode(spec, mode)
+	mode.FindAny = req.FindAny
+	switch {
+	case req.StepBudget > 0:
+		mode.StepBudget = req.StepBudget
+	case req.StepBudget == 0:
+		mode.StepBudget = s.StepBudget
+	}
+	ctx := r.Context()
+	if s.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.QueryTimeout)
+		defer cancel()
+	}
+	res, err := s.db.QueryModeCtx(ctx, spec, mode)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		switch {
+		case errors.Is(err, core.ErrBudgetExceeded):
+			writeErr(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, core.ErrCanceled):
+			// If the client is gone the write is moot; for a server-side
+			// timeout it reports why the query was cut short.
+			writeErr(w, http.StatusRequestTimeout, err)
+		default:
+			writeErr(w, http.StatusBadRequest, err)
+		}
 		return
 	}
 	out := QueryResponse{
@@ -243,6 +287,28 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		IndexBuildMS:     rs.IndexBuild.Milliseconds(),
 		ProjectionsMS:    rs.Projections.Milliseconds(),
 		VocabularyEvents: s.db.Vocabulary().Len(),
+	})
+}
+
+// MetricsResponse is the /v1/metrics payload: the engine's per-stage
+// query metrics plus a few registration gauges, all cheap enough to
+// poll from a scraper.
+type MetricsResponse struct {
+	Contracts        int                   `json:"contracts"`
+	VocabularyEvents int                   `json:"vocabulary_events"`
+	ProjectionRows   int                   `json:"projection_rows"`
+	IndexNodes       int                   `json:"index_nodes"`
+	Queries          metrics.QuerySnapshot `json:"queries"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.db.Stats()
+	writeJSON(w, http.StatusOK, MetricsResponse{
+		Contracts:        st.Registration.Contracts,
+		VocabularyEvents: s.db.Vocabulary().Len(),
+		ProjectionRows:   st.Registration.ProjectionRows,
+		IndexNodes:       st.Registration.IndexNodes,
+		Queries:          st.Queries,
 	})
 }
 
