@@ -76,7 +76,8 @@ commands:
   gen    -db FILE -n N [-props P]       add N generated contracts (P patterns each)
   add    -db FILE -name NAME -spec LTL  register one contract
   query  -db FILE -spec LTL [-mode opt|scan] [-parallel N]
-         [-find-any] [-budget STEPS] [-timeout D]   evaluate a query
+         [-find-any] [-budget STEPS] [-timeout D]
+         [-no-cache] [-repeat N]             evaluate a query
   show   -db FILE [-name NAME]          list contracts, or dump one automaton
   stats  -db FILE                       database and index statistics
   export -db FILE [-out FILE]           dump contracts in the corpus text format
@@ -198,6 +199,8 @@ func cmdQuery(args []string) error {
 	findAny := fs.Bool("find-any", false, "stop at the first permitting contract")
 	budget := fs.Int("budget", 0, "kernel step budget per candidate check (0 = unlimited)")
 	timeout := fs.Duration("timeout", 0, "abort the evaluation after this long (0 = none)")
+	noCache := fs.Bool("no-cache", false, "bypass the query-compilation and result caches")
+	repeat := fs.Int("repeat", 1, "run the query N times, reporting cold vs. warm latency")
 	fs.Parse(args)
 	if *dbPath == "" || *spec == "" {
 		return fmt.Errorf("query: -db and -spec are required")
@@ -222,13 +225,16 @@ func cmdQuery(args []string) error {
 	m.Parallelism = *parallel
 	m.FindAny = *findAny
 	m.StepBudget = *budget
+	m.NoCache = *noCache
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	start := time.Now()
 	res, err := db.QueryModeCtx(ctx, q, m)
+	cold := time.Since(start)
 	if err != nil {
 		return err
 	}
@@ -238,6 +244,32 @@ func cmdQuery(args []string) error {
 	fmt.Fprintf(os.Stderr, "%d/%d contracts permit the query (%d candidates after prefilter, %v)\n",
 		res.Stats.Permitted, res.Stats.Total, res.Stats.Candidates,
 		res.Stats.Elapsed().Round(time.Microsecond))
+	if *repeat > 1 {
+		// The first run above was cold (fresh process, empty caches);
+		// the rest measure the warm path. Wall time, not stage sums —
+		// cached serves skip every stage.
+		var warmTotal, warmMin time.Duration
+		cachedServes := 0
+		for i := 1; i < *repeat; i++ {
+			t := time.Now()
+			r, err := db.QueryModeCtx(ctx, q, m)
+			if err != nil {
+				return err
+			}
+			w := time.Since(t)
+			warmTotal += w
+			if warmMin == 0 || w < warmMin {
+				warmMin = w
+			}
+			if r.Stats.CacheHit {
+				cachedServes++
+			}
+		}
+		fmt.Fprintf(os.Stderr, "repeat %d: cold %v, warm avg %v, warm min %v (%d/%d served from cache)\n",
+			*repeat, cold.Round(time.Microsecond),
+			(warmTotal / time.Duration(*repeat-1)).Round(time.Microsecond),
+			warmMin.Round(time.Microsecond), cachedServes, *repeat-1)
+	}
 	return nil
 }
 

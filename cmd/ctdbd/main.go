@@ -33,6 +33,8 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "query worker-pool width (0 = GOMAXPROCS, 1 = sequential)")
 	queryTimeout := flag.Duration("query-timeout", 0, "server-side deadline per query evaluation (0 = none)")
 	stepBudget := flag.Int("step-budget", 0, "default kernel step budget per candidate check (0 = unlimited)")
+	queryCacheSize := flag.Int("query-cache-size", 0, "compiled-query (automaton) cache capacity (0 = default, negative = disabled)")
+	resultCacheSize := flag.Int("result-cache-size", 0, "query result cache capacity (0 = default, negative = disabled)")
 	flag.Parse()
 	if *dbPath == "" {
 		fmt.Fprintln(os.Stderr, "ctdbd: -db is required")
@@ -45,6 +47,9 @@ func main() {
 	}
 	if *parallelism > 0 {
 		db.SetParallelism(*parallelism)
+	}
+	if *queryCacheSize != 0 || *resultCacheSize != 0 {
+		db.SetCacheSizes(*queryCacheSize, *resultCacheSize)
 	}
 	srv := server.New(db)
 	srv.Persist = func(db *core.DB) error { return save(db, *dbPath) }

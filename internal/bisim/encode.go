@@ -2,26 +2,37 @@ package bisim
 
 import (
 	"fmt"
+	"sort"
 
 	"contractdb/internal/buchi"
 	"contractdb/internal/vocab"
 )
 
+// ProjectionEntry is one serialized (event subset, partition table)
+// row of a ProjectionSet.
+type ProjectionEntry struct {
+	Set   vocab.Set
+	Class []int
+}
+
 // ProjectionSnapshot is the serializable form of a ProjectionSet: the
 // per-subset partition tables, exactly the "list of bisimilar states"
-// representation §5.2 proposes for storage. Quotients are rebuilt
-// lazily after import.
+// representation §5.2 proposes for storage. Entries are sorted by
+// event subset so encoding is byte-deterministic (gob over the
+// previous map form serialized in map iteration order). Quotients are
+// rebuilt lazily after import.
 type ProjectionSnapshot struct {
 	MaxSubset int
-	Parts     map[vocab.Set][]int
+	Parts     []ProjectionEntry
 }
 
 // Export captures the precomputed partitions.
 func (ps *ProjectionSet) Export() ProjectionSnapshot {
-	s := ProjectionSnapshot{MaxSubset: ps.MaxSubset, Parts: make(map[vocab.Set][]int, len(ps.parts))}
+	s := ProjectionSnapshot{MaxSubset: ps.MaxSubset, Parts: make([]ProjectionEntry, 0, len(ps.parts))}
 	for set, p := range ps.parts {
-		s.Parts[set] = append([]int(nil), p.Class...)
+		s.Parts = append(s.Parts, ProjectionEntry{Set: set, Class: append([]int(nil), p.Class...)})
 	}
+	sort.Slice(s.Parts, func(i, j int) bool { return s.Parts[i].Set < s.Parts[j].Set })
 	return s
 }
 
@@ -40,12 +51,15 @@ func ImportProjections(auto *buchi.BA, s ProjectionSnapshot) (*ProjectionSet, er
 		}
 	}
 	dedup := make(map[string]*Partition)
-	for set, class := range s.Parts {
-		if len(class) != auto.NumStates() {
+	for _, entry := range s.Parts {
+		if len(entry.Class) != auto.NumStates() {
 			return nil, fmt.Errorf("bisim: partition for %s has %d entries, automaton has %d states",
-				set, len(class), auto.NumStates())
+				entry.Set, len(entry.Class), auto.NumStates())
 		}
-		p := normalize(class)
+		if _, dup := ps.parts[entry.Set]; dup {
+			return nil, fmt.Errorf("bisim: snapshot has duplicate partition for %s", entry.Set)
+		}
+		p := normalize(entry.Class)
 		key := p.Key()
 		shared, ok := dedup[key]
 		if !ok {
@@ -53,7 +67,7 @@ func ImportProjections(auto *buchi.BA, s ProjectionSnapshot) (*ProjectionSet, er
 			shared = &cp
 			dedup[key] = shared
 		}
-		ps.parts[set] = shared
+		ps.parts[entry.Set] = shared
 	}
 	ps.PrecomputedSubsets = len(ps.parts)
 	ps.DistinctPartitions = len(dedup)

@@ -98,9 +98,11 @@ func (db *DB) RegisterBatch(specs []Registration, workers int) []BatchResult {
 	wg.Wait()
 
 	// Phase 2 (serialized): id assignment, duplicate checks, index
-	// insertion.
+	// insertion. One epoch bump covers the whole batch — cached query
+	// results from before the batch are invalidated exactly once.
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	registered := 0
 	out := make([]BatchResult, len(specs))
 	for i, p := range prep {
 		if p.err != nil {
@@ -131,6 +133,10 @@ func (db *DB) RegisterBatch(specs []Registration, workers int) []BatchResult {
 		db.contracts = append(db.contracts, c)
 		db.byName[name] = c
 		out[i].Contract = c
+		registered++
+	}
+	if registered > 0 {
+		db.epoch++
 	}
 	return out
 }

@@ -1,0 +1,122 @@
+package core_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"contractdb/internal/core"
+	"contractdb/internal/datagen"
+	"contractdb/internal/ltl"
+)
+
+// TestCacheRegisterStress interleaves registrations with cached
+// queries under -race. Each reader runs the cached evaluation and the
+// NoCache oracle back to back; when the epoch did not move between
+// the two (no registration slipped in), the answers must be
+// identical — a cached result surviving a registration would show up
+// here as a differential failure, and any unsynchronized cache state
+// as a race report.
+func TestCacheRegisterStress(t *testing.T) {
+	voc := datagen.NewVocabulary()
+	db := core.NewDB(voc, core.Options{MaxAutomatonStates: 300})
+	gen := datagen.New(voc, 51)
+	for db.Len() < 15 {
+		if _, err := db.Register("", gen.Specification(3)); err != nil {
+			continue
+		}
+	}
+	var queries []*ltl.Expr
+	qgen := datagen.New(voc, 87)
+	for len(queries) < 4 {
+		queries = append(queries, qgen.Specification(2))
+	}
+
+	const (
+		readers       = 4
+		roundsPerRead = 25
+		extraRegs     = 20
+	)
+	cached := core.Mode{Prefilter: true, Bisim: true}
+	uncached := cached
+	uncached.NoCache = true
+
+	var wg sync.WaitGroup
+	errs := make(chan error, readers+1)
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		g := datagen.New(voc, 99)
+		added := 0
+		for added < extraRegs {
+			if _, err := db.Register("", g.Specification(3)); err != nil {
+				continue
+			}
+			added++
+		}
+	}()
+
+	comparable := 0
+	var mu sync.Mutex
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < roundsPerRead; i++ {
+				q := queries[(r+i)%len(queries)]
+				before := db.Epoch()
+				got, err := db.QueryMode(q, cached)
+				if err != nil {
+					errs <- err
+					return
+				}
+				want, err := db.QueryMode(q, uncached)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if db.Epoch() != before {
+					continue // a registration landed mid-pair; not comparable
+				}
+				if g, w := fmt.Sprint(names(got)), fmt.Sprint(names(want)); g != w {
+					errs <- fmt.Errorf("reader %d round %d: cached %s != uncached %s", r, i, g, w)
+					return
+				}
+				mu.Lock()
+				comparable++
+				mu.Unlock()
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if comparable == 0 {
+		t.Fatal("no stable-epoch pairs compared; stress test is vacuous")
+	}
+
+	// After the writer drains, every query must settle: cached answers
+	// equal the oracle on the final database.
+	for _, q := range queries {
+		if _, err := db.QueryMode(q, cached); err != nil {
+			t.Fatal(err)
+		}
+		hit, err := db.QueryMode(q, cached)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hit.Stats.CacheHit {
+			t.Fatal("post-stress repeat was not a cache hit")
+		}
+		want, err := db.QueryMode(q, uncached)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g, w := fmt.Sprint(names(hit)), fmt.Sprint(names(want)); g != w {
+			t.Fatalf("post-stress: cached %s != uncached %s", g, w)
+		}
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"contractdb/internal/metrics"
 	"contractdb/internal/permission"
 	"contractdb/internal/prefilter"
+	"contractdb/internal/qcache"
 	"contractdb/internal/vocab"
 )
 
@@ -56,7 +57,25 @@ type Options struct {
 	// step). Zero selects GOMAXPROCS; 1 forces the sequential scan.
 	// Mode.Parallelism overrides it per query.
 	Parallelism int
+	// QueryCacheSize bounds the tier-1 compilation cache (canonical
+	// query → translated automata). Zero selects
+	// DefaultQueryCacheSize; negative disables the cache (and with it
+	// the result cache, which keys off canonical forms).
+	QueryCacheSize int
+	// ResultCacheSize bounds the tier-2 result cache ((canonical
+	// query, mode) → Result, invalidated by registration epoch). Zero
+	// selects DefaultResultCacheSize; negative disables it.
+	ResultCacheSize int
 }
+
+// Default capacities of the two query-cache tiers. Compiled automata
+// are the expensive artifact (hundreds of states each) so tier 1 is
+// smaller; cached results are a name list plus counters, so tier 2
+// can afford to remember a broader working set.
+const (
+	DefaultQueryCacheSize  = 512
+	DefaultResultCacheSize = 4096
+)
 
 // DefaultProjectionBudget bounds projection precomputation to event
 // subsets of size ≤ 6, which covers the simple and medium query
@@ -88,6 +107,26 @@ func (o Options) parallelism() int {
 		return o.Parallelism
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) queryCacheSize() int {
+	switch {
+	case o.QueryCacheSize == 0:
+		return DefaultQueryCacheSize
+	case o.QueryCacheSize < 0:
+		return 0
+	}
+	return o.QueryCacheSize
+}
+
+func (o Options) resultCacheSize() int {
+	switch {
+	case o.ResultCacheSize == 0:
+		return DefaultResultCacheSize
+	case o.ResultCacheSize < 0:
+		return 0
+	}
+	return o.ResultCacheSize
 }
 
 // Algorithm selects the permission-search kernel; see the permission
@@ -124,6 +163,12 @@ type Mode struct {
 	// positive (1 forces a sequential scan, which the benchmarks use
 	// to compare against the worker pool on one database).
 	Parallelism int
+	// NoCache bypasses both query-cache tiers for this evaluation: the
+	// query is translated and the candidate set scanned from scratch,
+	// and nothing is stored. The experiment harness uses it so cache
+	// hits cannot contaminate the paper's measurements, and the
+	// differential tests use it as the uncached oracle.
+	NoCache bool
 }
 
 // Optimized enables both techniques, the configuration the paper's
@@ -205,17 +250,77 @@ type DB struct {
 	// via Stats and the server's /v1/metrics endpoint. Lock-free: it
 	// is updated outside db.mu.
 	metrics *metrics.Query
+
+	// epoch counts completed registrations; it stamps result-cache
+	// entries so registering a contract invalidates cached results
+	// without clearing the cache or blocking queries. Guarded by mu
+	// (bumped under the write lock, read under the read lock, so it is
+	// constant for the duration of any evaluation).
+	epoch uint64
+
+	// The two query-cache tiers (nil when disabled via Options).
+	// compile memoizes LTL→BA translation per canonical query form;
+	// results memoizes whole Results per (canonical query, mode) at
+	// one epoch. Both have internal locks and are used under mu's read
+	// lock.
+	compile *qcache.CompileCache
+	results *qcache.ResultCache
 }
 
 // NewDB returns an empty database over the given vocabulary.
 func NewDB(voc *vocab.Vocabulary, opts Options) *DB {
-	return &DB{
+	db := &DB{
 		voc:     voc,
 		opts:    opts,
 		byName:  make(map[string]*Contract),
 		index:   prefilter.New(opts.prefilterK()),
 		metrics: &metrics.Query{},
 	}
+	db.initCaches()
+	return db
+}
+
+// initCaches (re)builds both cache tiers from db.opts, wiring their
+// counters into the metrics registry. Callers hold the write lock (or
+// own the DB exclusively, as NewDB does).
+func (db *DB) initCaches() {
+	db.compile, db.results = nil, nil
+	if n := db.opts.queryCacheSize(); n > 0 {
+		db.compile = qcache.NewCompileCache(n, qcache.Metrics{
+			Hits:      &db.metrics.QueryCacheHits,
+			Misses:    &db.metrics.QueryCacheMisses,
+			Evictions: &db.metrics.QueryCacheEvictions,
+		})
+		// Tier 2 requires tier 1: result keys are canonical forms.
+		if n := db.opts.resultCacheSize(); n > 0 {
+			db.results = qcache.NewResultCache(n, qcache.Metrics{
+				Hits:          &db.metrics.ResultCacheHits,
+				Misses:        &db.metrics.ResultCacheMisses,
+				Evictions:     &db.metrics.ResultCacheEvictions,
+				Invalidations: &db.metrics.ResultCacheInvalidation,
+			})
+		}
+	}
+}
+
+// SetCacheSizes rebuilds the query caches with new capacities, using
+// Options semantics (0 = default, negative = disabled). Existing
+// cached entries are dropped.
+func (db *DB) SetCacheSizes(queryCache, resultCache int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.opts.QueryCacheSize = queryCache
+	db.opts.ResultCacheSize = resultCache
+	db.initCaches()
+}
+
+// Epoch returns the registration epoch: the number of successful
+// registration operations. Cached results are only served at the
+// epoch they were computed in.
+func (db *DB) Epoch() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.epoch
 }
 
 // SetParallelism changes the worker-pool width for subsequent queries
@@ -292,6 +397,7 @@ func (db *DB) Register(name string, spec *ltl.Expr) (*Contract, error) {
 
 	db.contracts = append(db.contracts, c)
 	db.byName[name] = c
+	db.epoch++
 	db.registerTime += time.Since(start)
 	return c, nil
 }
@@ -339,6 +445,12 @@ type QueryStats struct {
 	ProjPick time.Duration
 
 	Permission permission.Stats // aggregated checker work counters
+
+	// CacheHit reports the result was served from the result cache.
+	// The counts (Total, Candidates, Permitted) describe the original
+	// evaluation; the durations and per-check counters are zero
+	// because no translation or scan ran.
+	CacheHit bool
 }
 
 // Elapsed returns the query's total evaluation time, the quantity the

@@ -13,6 +13,7 @@ import (
 	"contractdb/internal/ltl2ba"
 	"contractdb/internal/metrics"
 	"contractdb/internal/permission"
+	"contractdb/internal/qcache"
 )
 
 // Errors distinguishing aborted queries from malformed ones,
@@ -43,24 +44,103 @@ func (db *DB) QueryCtx(ctx context.Context, spec *ltl.Expr) (*Result, error) {
 // Options.Parallelism) goroutines; find-all results are returned in
 // contract-id order regardless of worker interleaving.
 func (db *DB) QueryModeCtx(ctx context.Context, spec *ltl.Expr, mode Mode) (*Result, error) {
+	return db.evalQuery(ctx, spec, mode, false)
+}
+
+// QueryObligationModeCtx is QueryObligationMode under a context; see
+// QueryModeCtx for cancellation and parallelism semantics.
+func (db *DB) QueryObligationModeCtx(ctx context.Context, spec *ltl.Expr, mode Mode) (*Result, error) {
+	return db.evalQuery(ctx, spec, mode, true)
+}
+
+// cachedResult is the tier-2 payload: the match set and the stats of
+// the evaluation that produced it. Matches are immutable shared
+// contracts; hits hand out a fresh slice.
+type cachedResult struct {
+	matches []*Contract
+	stats   QueryStats
+}
+
+// resultCacheKey builds the tier-2 key: the canonical query key plus
+// every mode knob that can change the answer or whose measurements
+// must not cross-contaminate (Prefilter/Bisim do not change answers
+// but keep ablation runs honest). Parallelism is deliberately
+// excluded — find-all answers are deterministic across pool widths,
+// and a FindAny answer from any width is a valid witness.
+func resultCacheKey(canonical string, mode Mode, obligation bool) string {
+	return fmt.Sprintf("%s|p%t|b%t|a%d|f%t|s%d|o%t",
+		canonical, mode.Prefilter, mode.Bisim, mode.Algorithm, mode.FindAny, mode.StepBudget, obligation)
+}
+
+// evalQuery is the shared query path: resolve the automaton through
+// the compilation cache, serve a result-cache hit if one is valid at
+// the current epoch, otherwise prefilter (permission queries only —
+// the index over-approximates permission, which is the wrong side for
+// obligation's negated query), scan, and populate the result cache.
+//
+// The whole evaluation runs under mu's read lock, so the epoch read
+// here is the epoch of everything the scan observes; results stored
+// with it can never leak across a registration (which takes the write
+// lock and bumps the epoch before the next reader starts).
+func (db *DB) evalQuery(ctx context.Context, spec *ltl.Expr, mode Mode, obligation bool) (*Result, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	db.metrics.Queries.Inc()
 
+	errPrefix := "core: query"
+	if obligation {
+		errPrefix = "core: obligation query"
+	}
+
 	var stats QueryStats
 	stats.Total = len(db.contracts)
 
+	// Tier 1: canonical form and (possibly cached) automaton. Tier 2:
+	// a whole-result hit returns before touching index or kernels.
+	start := time.Now()
+	var compiled *qcache.Compiled
+	var resKey string
+	if !mode.NoCache && db.compile != nil {
+		compiled = db.compile.Get(spec)
+		if db.results != nil {
+			resKey = resultCacheKey(compiled.Key, mode, obligation)
+			if v, ok := db.results.Get(resKey, db.epoch); ok {
+				cr := v.(*cachedResult)
+				st := cr.stats
+				st.Translate, st.Filter, st.Check, st.ProjPick = 0, 0, 0, 0
+				st.Checked = 0
+				st.Permission = permission.Stats{}
+				st.CacheHit = true
+				db.metrics.CachedServe.Observe(time.Since(start))
+				db.metrics.Permitted.Add(int64(len(cr.matches)))
+				return &Result{Matches: append([]*Contract(nil), cr.matches...), Stats: st}, nil
+			}
+		}
+	}
+
 	t := time.Now()
-	qa, err := ltl2ba.Translate(db.voc, spec)
+	var qa *buchi.BA
+	var err error
+	if compiled != nil {
+		qa, err = compiled.Automaton(obligation, func(f *ltl.Expr) (*buchi.BA, error) {
+			return ltl2ba.Translate(db.voc, f)
+		})
+	} else {
+		q := spec
+		if obligation {
+			q = ltl.Not(spec)
+		}
+		qa, err = ltl2ba.Translate(db.voc, q)
+	}
 	if err != nil {
 		db.metrics.Errored.Inc()
-		return nil, fmt.Errorf("core: query: %w", err)
+		return nil, fmt.Errorf("%s: %w", errPrefix, err)
 	}
 	stats.Translate = time.Since(t)
 	db.metrics.Translate.Observe(stats.Translate)
 
 	candidates := db.contracts
-	if mode.Prefilter {
+	if mode.Prefilter && !obligation {
 		t = time.Now()
 		set := db.index.Candidates(qa)
 		stats.Filter = time.Since(t)
@@ -73,37 +153,20 @@ func (db *DB) QueryModeCtx(ctx context.Context, spec *ltl.Expr, mode Mode) (*Res
 	stats.Candidates = len(candidates)
 	db.metrics.CandidatesPruned.Add(int64(stats.Total - len(candidates)))
 
-	return db.finishQuery(ctx, qa, candidates, mode, false, &stats)
-}
-
-// QueryObligationModeCtx is QueryObligationMode under a context; see
-// QueryModeCtx for cancellation and parallelism semantics.
-func (db *DB) QueryObligationModeCtx(ctx context.Context, spec *ltl.Expr, mode Mode) (*Result, error) {
-	negated := ltl.Not(spec)
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	db.metrics.Queries.Inc()
-
-	var stats QueryStats
-	stats.Total = len(db.contracts)
-
-	t := time.Now()
-	qa, err := ltl2ba.Translate(db.voc, negated)
+	res, err := db.finishQuery(ctx, qa, candidates, mode, obligation, &stats)
 	if err != nil {
-		db.metrics.Errored.Inc()
-		return nil, fmt.Errorf("core: obligation query: %w", err)
+		return nil, fmt.Errorf("%s: %w", errPrefix, err)
 	}
-	stats.Translate = time.Since(t)
-	db.metrics.Translate.Observe(stats.Translate)
-	stats.Candidates = len(db.contracts)
-
-	return db.finishQuery(ctx, qa, db.contracts, mode, true, &stats)
+	if resKey != "" {
+		db.results.Put(resKey, db.epoch, &cachedResult{matches: res.Matches, stats: res.Stats})
+	}
+	return res, nil
 }
 
 // finishQuery runs the candidate scan, folds its accounting into the
 // metrics registry, and assembles the Result. invert selects
 // obligation semantics (match = does NOT permit the negated query).
-// Callers hold db.mu.RLock.
+// Callers hold db.mu.RLock and wrap returned errors.
 func (db *DB) finishQuery(ctx context.Context, qa *buchi.BA, candidates []*Contract, mode Mode, invert bool, stats *QueryStats) (*Result, error) {
 	t := time.Now()
 	matches, err := db.evalCandidates(ctx, qa, candidates, mode, invert, stats)
@@ -120,7 +183,7 @@ func (db *DB) finishQuery(ctx context.Context, qa *buchi.BA, candidates []*Contr
 		case errors.Is(err, ErrCanceled):
 			db.metrics.Canceled.Inc()
 		}
-		return nil, fmt.Errorf("core: query: %w", err)
+		return nil, err
 	}
 	stats.Permitted = len(matches)
 	db.metrics.Permitted.Add(int64(len(matches)))
@@ -273,6 +336,19 @@ func (db *DB) mergeAgg(agg *checkAgg, stats *QueryStats) {
 type DBStats struct {
 	Registration RegistrationStats
 	Queries      metrics.QuerySnapshot
+	Caches       CacheStats
+}
+
+// CacheStats is a point-in-time view of the query caches: current
+// occupancy and capacity per tier, plus the registration epoch that
+// gates result-cache validity. Hit/miss/eviction counters live in the
+// Queries snapshot.
+type CacheStats struct {
+	Epoch          uint64
+	QueryCacheLen  int
+	QueryCacheCap  int
+	ResultCacheLen int
+	ResultCacheCap int
 }
 
 // Stats returns a point-in-time view of the database's registration
@@ -282,5 +358,21 @@ func (db *DB) Stats() DBStats {
 	return DBStats{
 		Registration: db.RegistrationStats(),
 		Queries:      db.metrics.Snapshot(),
+		Caches:       db.CacheStats(),
 	}
+}
+
+// CacheStats returns the cache gauges. Safe for concurrent use.
+func (db *DB) CacheStats() CacheStats {
+	db.mu.RLock()
+	cs := CacheStats{Epoch: db.epoch}
+	compile, results := db.compile, db.results
+	db.mu.RUnlock()
+	if compile != nil {
+		cs.QueryCacheLen, cs.QueryCacheCap = compile.Len(), compile.Cap()
+	}
+	if results != nil {
+		cs.ResultCacheLen, cs.ResultCacheCap = results.Len(), results.Cap()
+	}
+	return cs
 }

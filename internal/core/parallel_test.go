@@ -56,6 +56,9 @@ func TestParallelMatchesSequential(t *testing.T) {
 		{Prefilter: true, Bisim: true, Algorithm: AlgorithmNestedDFS},
 	}
 	for mi, base := range modes {
+		// The point is to compare scan accounting across pool widths, so
+		// the repeat runs must not be served from the result cache.
+		base.NoCache = true
 		for qi, q := range queries {
 			seqMode := base
 			seqMode.Parallelism = 1

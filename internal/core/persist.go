@@ -34,7 +34,11 @@ type contractSnapshot struct {
 	Projections bisim.ProjectionSnapshot
 }
 
-const formatVersion = 1
+// formatVersion 2 switched the prefilter and projection snapshot
+// tables from gob maps to sorted slices, making Save byte-
+// deterministic (the same database always serializes to the same
+// bytes, so snapshots can be diffed and content-addressed).
+const formatVersion = 2
 
 // Save writes the database, including all precomputed index
 // structures, to w in gob format.
@@ -112,5 +116,9 @@ func Load(r io.Reader) (*DB, error) {
 		return nil, fmt.Errorf("core: load: index covers %d contracts, database has %d",
 			db.index.Len(), len(db.contracts))
 	}
+	// A load is a registration event for cache purposes: a fresh epoch
+	// guarantees nothing cached against a previous in-memory lifetime
+	// of this data could ever be considered valid.
+	db.epoch++
 	return db, nil
 }

@@ -1,0 +1,136 @@
+package ltl_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"contractdb/internal/ltl"
+	"contractdb/internal/vocab"
+)
+
+// TestCanonicalKeyEquivalences checks that spelling variants the
+// canonicalizer is designed to collapse share one key, and that
+// genuinely different formulas do not.
+func TestCanonicalKeyEquivalences(t *testing.T) {
+	same := [][2]string{
+		{"a && b", "b && a"},
+		{"a || b || c", "c || (b || a)"},
+		{"(a && b) && c", "c && b && a"},
+		{"a && a", "a"},
+		{"a && true", "a"},
+		{"a || false", "a"},
+		{"F p", "true U p"},
+		{"G p", "false R p"},
+		{"p W q", "q R (p || q)"},
+		{"p W q", "q R (q || p)"},
+		{"p B q", "p R !q"},
+		{"p -> q", "!p || q"},
+		{"p <-> q", "q <-> p"},
+		{"!!p", "p"},
+		{"X true", "true"},
+		{"false U q", "q"},
+		{"true R q", "q"},
+		{"G(a && b)", "G(b && a)"},
+		{"(a || b) U (c && d)", "(b || a) U (d && c)"},
+	}
+	for _, pair := range same {
+		k0 := ltl.CanonicalKey(ltl.MustParse(pair[0]))
+		k1 := ltl.CanonicalKey(ltl.MustParse(pair[1]))
+		if k0 != k1 {
+			t.Errorf("CanonicalKey(%q) != CanonicalKey(%q):\n  %s\n  %s", pair[0], pair[1], k0, k1)
+		}
+	}
+	diff := [][2]string{
+		{"a", "b"},
+		{"a U b", "b U a"},
+		{"a R b", "b R a"},
+		{"X a", "a"},
+		{"a && b", "a || b"},
+		{"G a", "F a"},
+	}
+	for _, pair := range diff {
+		k0 := ltl.CanonicalKey(ltl.MustParse(pair[0]))
+		k1 := ltl.CanonicalKey(ltl.MustParse(pair[1]))
+		if k0 == k1 {
+			t.Errorf("CanonicalKey(%q) == CanonicalKey(%q), want distinct keys", pair[0], pair[1])
+		}
+	}
+}
+
+// TestCanonicalPreservesSemantics evaluates originals and canonical
+// forms on random ultimately periodic runs; they must agree
+// everywhere.
+func TestCanonicalPreservesSemantics(t *testing.T) {
+	voc := vocab.MustFromNames("a", "b", "c", "d")
+	formulas := []string{
+		"a", "!a", "a && b", "a || b", "a -> b", "a <-> b",
+		"X a", "F a", "G a", "a U b", "a W b", "a B b", "a R b",
+		"G(a -> F b)", "F(a && X b) || G(c U d)",
+		"(a <-> b) <-> (c <-> d)",
+		"!(a W (b B c))",
+		"G(a -> X(!F a))",
+		"a && b && c && d", "d || c || b || a",
+	}
+	rng := rand.New(rand.NewSource(7))
+	randSet := func() vocab.Set {
+		var s vocab.Set
+		for id := 0; id < 4; id++ {
+			if rng.Intn(2) == 1 {
+				s = s.With(vocab.EventID(id))
+			}
+		}
+		return s
+	}
+	for _, src := range formulas {
+		f := ltl.MustParse(src)
+		g := ltl.Canonical(f)
+		for trial := 0; trial < 50; trial++ {
+			l := ltl.Lasso{}
+			for i, n := 0, rng.Intn(4); i < n; i++ {
+				l.Prefix = append(l.Prefix, randSet())
+			}
+			for i, n := 0, 1+rng.Intn(3); i < n; i++ {
+				l.Cycle = append(l.Cycle, randSet())
+			}
+			if got, want := l.Eval(voc, g), l.Eval(voc, f); got != want {
+				t.Fatalf("%q: canonical form %q disagrees on %v/%v: got %v, want %v",
+					src, g, l.Prefix, l.Cycle, got, want)
+			}
+		}
+	}
+}
+
+// TestCanonicalIdempotent: canonicalizing a canonical form is a
+// fixpoint, structurally and by key.
+func TestCanonicalIdempotent(t *testing.T) {
+	for _, src := range []string{
+		"a", "G(a -> F b)", "(a <-> b) W c", "c || b || a && a", "!(a U !b)",
+	} {
+		f := ltl.MustParse(src)
+		g := ltl.Canonical(f)
+		gg := ltl.Canonical(g)
+		if !g.Equal(gg) {
+			t.Errorf("%q: Canonical not idempotent: %q vs %q", src, g, gg)
+		}
+		if ltl.CanonicalKey(f) != ltl.CanonicalKey(g) {
+			t.Errorf("%q: key changed by canonicalization", src)
+		}
+	}
+}
+
+// TestCanonicalKeySharedSubtrees guards the DAG-safety property: a
+// deeply nested <-> chain desugars to a formula whose tree expansion
+// is exponential, but the canonicalizer memoizes per shared node, so
+// keying it must stay fast (this test would hang for minutes on a
+// String-based key).
+func TestCanonicalKeySharedSubtrees(t *testing.T) {
+	f := ltl.Atom("a")
+	for i := 0; i < 64; i++ {
+		f = ltl.Iff(f, ltl.Atom("a"))
+	}
+	k1 := ltl.CanonicalKey(f)
+	k2 := ltl.CanonicalKey(f)
+	if k1 != k2 || k1 == "" {
+		t.Fatalf("unstable key for shared-subtree formula: %q vs %q", k1, k2)
+	}
+}

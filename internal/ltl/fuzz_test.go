@@ -38,6 +38,68 @@ func FuzzParse(f *testing.F) {
 	})
 }
 
+// FuzzCanonicalKey checks the cache-key invariants the query
+// compilation cache relies on: the key survives a parse/print round
+// trip, swapping commutative operands does not change it, and
+// canonicalization is a fixpoint.
+func FuzzCanonicalKey(f *testing.F) {
+	for _, seed := range []string{
+		"p",
+		"a && b",
+		"b && a || c",
+		"G(p -> F q)",
+		"p U (q W r)",
+		"(a <-> b) B (c || d)",
+		"F r -> (p -> (!r U (s && !r))) U r",
+		"!(!p && !q)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		expr, err := ltl.Parse(src)
+		if err != nil {
+			return
+		}
+		if expr.Size() > 128 {
+			return // keep worst-case desugared forms fuzz-sized
+		}
+		key := ltl.CanonicalKey(expr)
+
+		// Parse/print round trip preserves the key.
+		again, err := ltl.Parse(expr.String())
+		if err != nil {
+			t.Fatalf("printer emitted unparsable %q: %v", expr.String(), err)
+		}
+		if k := ltl.CanonicalKey(again); k != key {
+			t.Fatalf("round trip changed canonical key for %q: %s vs %s", src, key, k)
+		}
+
+		// Reordering commutative operands collides to the same key.
+		if k := ltl.CanonicalKey(swapCommutative(expr)); k != key {
+			t.Fatalf("commutative reordering changed canonical key for %q", src)
+		}
+
+		// Canonicalization is a fixpoint under the key.
+		if k := ltl.CanonicalKey(ltl.Canonical(expr)); k != key {
+			t.Fatalf("canonical form of %q keys differently", src)
+		}
+	})
+}
+
+// swapCommutative mirrors every &&/||/<-> node, producing a distinct
+// spelling of the same formula.
+func swapCommutative(f *ltl.Expr) *ltl.Expr {
+	if f == nil {
+		return nil
+	}
+	l, r := swapCommutative(f.Left), swapCommutative(f.Right)
+	switch f.Op {
+	case ltl.OpAnd, ltl.OpOr, ltl.OpIff:
+		l, r = r, l
+	}
+	return &ltl.Expr{Op: f.Op, Name: f.Name, Left: l, Right: r}
+}
+
 // FuzzRewrites checks NNF/Simplify never panic on accepted input and
 // keep the atom set within the original's.
 func FuzzRewrites(f *testing.F) {

@@ -2,25 +2,44 @@ package prefilter
 
 import (
 	"fmt"
+	"sort"
 
 	"contractdb/internal/buchi"
 )
 
+// SnapshotNode is one serialized index node: a literal set and the
+// bitset words of the contracts registered under it.
+type SnapshotNode struct {
+	Label buchi.Label
+	Words []uint64
+}
+
 // Snapshot is the serializable form of an Index, used by the broker's
-// database persistence. All fields are exported for encoding/gob.
+// database persistence. Nodes are sorted by label (Pos, then Neg) so
+// that encoding a snapshot is byte-deterministic — gob over the
+// previous map representation serialized in map iteration order,
+// which made otherwise-identical databases produce different files.
+// All fields are exported for encoding/gob.
 type Snapshot struct {
 	K     int
 	N     int
-	Nodes map[buchi.Label][]uint64
+	Nodes []SnapshotNode
 }
 
 // Export captures the index state. The node sets are copied so the
 // snapshot stays valid if the index keeps growing.
 func (ix *Index) Export() Snapshot {
-	s := Snapshot{K: ix.k, N: ix.n, Nodes: make(map[buchi.Label][]uint64, len(ix.nodes))}
+	s := Snapshot{K: ix.k, N: ix.n, Nodes: make([]SnapshotNode, 0, len(ix.nodes))}
 	for l, words := range ix.nodes {
-		s.Nodes[l] = append([]uint64(nil), words...)
+		s.Nodes = append(s.Nodes, SnapshotNode{Label: l, Words: append([]uint64(nil), words...)})
 	}
+	sort.Slice(s.Nodes, func(i, j int) bool {
+		a, b := s.Nodes[i].Label, s.Nodes[j].Label
+		if a.Pos != b.Pos {
+			return a.Pos < b.Pos
+		}
+		return a.Neg < b.Neg
+	})
 	return s
 }
 
@@ -34,8 +53,11 @@ func Import(s Snapshot) (*Index, error) {
 	}
 	ix := New(s.K)
 	ix.n = s.N
-	for l, words := range s.Nodes {
-		ix.nodes[l] = append([]uint64(nil), words...)
+	for _, node := range s.Nodes {
+		if _, dup := ix.nodes[node.Label]; dup {
+			return nil, fmt.Errorf("prefilter: snapshot has duplicate node %v", node.Label)
+		}
+		ix.nodes[node.Label] = append([]uint64(nil), node.Words...)
 	}
 	return ix, nil
 }

@@ -1,0 +1,247 @@
+// Package qcache implements the two-tier query cache behind the
+// contract database's hot path.
+//
+// Tier 1 (CompileCache) memoizes the expensive LTL → Büchi translation
+// per *canonical* query form (ltl.CanonicalKey): queries that differ
+// only in derived-operator spelling or commutative-operand order share
+// one entry. Each entry lazily holds both the positive automaton and
+// the negated-obligation automaton, and translation is deduplicated
+// singleflight-style — N concurrent identical queries block on one
+// per-entry mutex and translate once.
+//
+// Tier 2 (ResultCache) memoizes full query results keyed by
+// (canonical form, evaluation knobs) and stamped with the database's
+// registration epoch. Registering a contract bumps the epoch, which
+// invalidates every cached result at lookup time without clearing the
+// cache or blocking queries; compiled automata are epoch-independent
+// (a query's automaton does not change when contracts are added) and
+// survive registrations.
+//
+// Both tiers are bounded LRUs and safe for concurrent use.
+package qcache
+
+import (
+	"container/list"
+	"sync"
+
+	"contractdb/internal/buchi"
+	"contractdb/internal/ltl"
+	"contractdb/internal/metrics"
+)
+
+// Metrics is the set of optional counters a cache reports into; any
+// field may be nil. The owner (core.DB) wires these to its metrics
+// registry so hits, misses and evictions show up in DB.Stats and
+// GET /v1/metrics.
+type Metrics struct {
+	Hits      *metrics.Counter
+	Misses    *metrics.Counter
+	Evictions *metrics.Counter
+	// Invalidations counts entries dropped because their epoch was
+	// stale at lookup (ResultCache only). An invalidated lookup also
+	// counts as a miss.
+	Invalidations *metrics.Counter
+}
+
+func inc(c *metrics.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+// Translate builds an automaton for a formula; the CompileCache calls
+// it on a slot miss. It is supplied per call so the cache does not
+// depend on a specific translator or vocabulary.
+type Translate func(*ltl.Expr) (*buchi.BA, error)
+
+// Compiled is one compilation-cache entry: a canonical query class
+// with lazily translated automata for the query and its negation.
+type Compiled struct {
+	// Key is the canonical cache key (ltl.CanonicalKey of the query).
+	Key string
+
+	// spec is the first formula seen for this canonical class; the
+	// automata are built from it (any member of the class is
+	// semantically interchangeable).
+	spec *ltl.Expr
+
+	pos, neg compileSlot
+}
+
+// compileSlot holds one lazily built automaton. The mutex doubles as
+// the singleflight guard: concurrent callers for the same slot block
+// while the first translates.
+type compileSlot struct {
+	mu sync.Mutex
+	ba *buchi.BA
+}
+
+// Automaton returns the entry's automaton — of the query itself, or of
+// its negation when negated is true (the obligation path) — building
+// it with tr on first use. Concurrent calls for the same slot
+// translate once. Errors are returned but never cached: a failed
+// translation (e.g. a vocabulary that is full today) is retried on the
+// next call.
+func (e *Compiled) Automaton(negated bool, tr Translate) (*buchi.BA, error) {
+	s, spec := &e.pos, e.spec
+	if negated {
+		s, spec = &e.neg, ltl.Not(e.spec)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ba != nil {
+		return s.ba, nil
+	}
+	ba, err := tr(spec)
+	if err != nil {
+		return nil, err
+	}
+	s.ba = ba
+	return ba, nil
+}
+
+// CompileCache is the tier-1 LRU of canonical query form → Compiled.
+type CompileCache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used
+	entries map[string]*list.Element
+	m       Metrics
+}
+
+// NewCompileCache returns a compile cache holding at most capacity
+// entries (capacity must be positive).
+func NewCompileCache(capacity int, m Metrics) *CompileCache {
+	if capacity <= 0 {
+		panic("qcache: NewCompileCache capacity must be positive")
+	}
+	return &CompileCache{
+		cap:     capacity,
+		ll:      list.New(),
+		entries: make(map[string]*list.Element, capacity),
+		m:       m,
+	}
+}
+
+// Get returns the entry for spec's canonical form, creating (and, when
+// over capacity, evicting least-recently-used entries) as needed. The
+// returned entry stays usable even if it is evicted while a caller
+// still holds it.
+func (c *CompileCache) Get(spec *ltl.Expr) *Compiled {
+	key := ltl.CanonicalKey(spec)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		inc(c.m.Hits)
+		return el.Value.(*Compiled)
+	}
+	inc(c.m.Misses)
+	e := &Compiled{Key: key, spec: spec}
+	c.entries[key] = c.ll.PushFront(e)
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.entries, back.Value.(*Compiled).Key)
+		inc(c.m.Evictions)
+	}
+	return e
+}
+
+// Len returns the number of cached entries.
+func (c *CompileCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Cap returns the cache's capacity.
+func (c *CompileCache) Cap() int { return c.cap }
+
+// resultEntry is one tier-2 entry: an opaque result valid for exactly
+// one database epoch.
+type resultEntry struct {
+	key   string
+	epoch uint64
+	value any
+}
+
+// ResultCache is the tier-2 LRU of (canonical query + knobs) → result,
+// with epoch-stamped entries. The cache does not interpret values.
+type ResultCache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List
+	entries map[string]*list.Element
+	m       Metrics
+}
+
+// NewResultCache returns a result cache holding at most capacity
+// entries (capacity must be positive).
+func NewResultCache(capacity int, m Metrics) *ResultCache {
+	if capacity <= 0 {
+		panic("qcache: NewResultCache capacity must be positive")
+	}
+	return &ResultCache{
+		cap:     capacity,
+		ll:      list.New(),
+		entries: make(map[string]*list.Element, capacity),
+		m:       m,
+	}
+}
+
+// Get returns the cached value for key if it was stored at the given
+// epoch. An entry stored at a different epoch is stale — it is dropped
+// and the lookup counts as a miss (plus an invalidation).
+func (c *ResultCache) Get(key string, epoch uint64) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		inc(c.m.Misses)
+		return nil, false
+	}
+	e := el.Value.(*resultEntry)
+	if e.epoch != epoch {
+		c.ll.Remove(el)
+		delete(c.entries, key)
+		inc(c.m.Invalidations)
+		inc(c.m.Misses)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	inc(c.m.Hits)
+	return e.value, true
+}
+
+// Put stores value for key at the given epoch, replacing any previous
+// entry for the key and evicting least-recently-used entries over
+// capacity.
+func (c *ResultCache) Put(key string, epoch uint64, value any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*resultEntry)
+		e.epoch, e.value = epoch, value
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&resultEntry{key: key, epoch: epoch, value: value})
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.entries, back.Value.(*resultEntry).key)
+		inc(c.m.Evictions)
+	}
+}
+
+// Len returns the number of cached entries (including not-yet-swept
+// stale ones).
+func (c *ResultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Cap returns the cache's capacity.
+func (c *ResultCache) Cap() int { return c.cap }

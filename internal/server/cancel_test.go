@@ -190,8 +190,25 @@ func TestMetricsEndpoint(t *testing.T) {
 				if m.Queries.Queries != 3 {
 					t.Errorf("queries = %d, want 3", m.Queries.Queries)
 				}
-				if m.Queries.Translate.Count != 3 {
-					t.Errorf("translate count = %d, want 3", m.Queries.Translate.Count)
+				// Only the first run translates and scans; the repeats are
+				// served from the result cache.
+				if m.Queries.Translate.Count != 1 {
+					t.Errorf("translate count = %d, want 1", m.Queries.Translate.Count)
+				}
+				if m.Queries.ResultCacheHits != 2 {
+					t.Errorf("result cache hits = %d, want 2", m.Queries.ResultCacheHits)
+				}
+				if m.Queries.ResultCacheMisses != 1 {
+					t.Errorf("result cache misses = %d, want 1", m.Queries.ResultCacheMisses)
+				}
+				if m.Queries.CachedServe.Count != 2 {
+					t.Errorf("cached serve count = %d, want 2", m.Queries.CachedServe.Count)
+				}
+				if m.Caches.ResultCacheLen != 1 || m.Caches.QueryCacheLen != 1 {
+					t.Errorf("cache gauges = %+v, want one entry per tier", m.Caches)
+				}
+				if m.Caches.Epoch == 0 {
+					t.Error("epoch = 0 after registrations")
 				}
 				if m.Queries.CandidatesScanned == 0 {
 					t.Error("no candidates scanned")

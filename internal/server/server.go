@@ -194,6 +194,10 @@ type QueryRequest struct {
 	// StepBudget caps each candidate check's kernel steps; 0 uses the
 	// server default, -1 forces unlimited.
 	StepBudget int `json:"step_budget,omitempty"`
+	// NoCache bypasses the query-compilation and result caches for
+	// this evaluation — measurement runs use it so reported latencies
+	// are always cold.
+	NoCache bool `json:"no_cache,omitempty"`
 }
 
 // QueryResponse lists the permitting contracts plus evaluation
@@ -203,6 +207,10 @@ type QueryResponse struct {
 	Total      int      `json:"total"`
 	Candidates int      `json:"candidates"`
 	ElapsedUS  int64    `json:"elapsed_us"`
+	// Cached reports the answer was served from the result cache;
+	// Candidates and ElapsedUS then describe the cached serve, not a
+	// fresh scan.
+	Cached bool `json:"cached,omitempty"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -226,6 +234,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	mode.FindAny = req.FindAny
+	mode.NoCache = req.NoCache
 	switch {
 	case req.StepBudget > 0:
 		mode.StepBudget = req.StepBudget
@@ -257,6 +266,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Total:      res.Stats.Total,
 		Candidates: res.Stats.Candidates,
 		ElapsedUS:  res.Stats.Elapsed().Microseconds(),
+		Cached:     res.Stats.CacheHit,
 	}
 	for _, c := range res.Matches {
 		out.Matches = append(out.Matches, c.Name)
@@ -299,6 +309,18 @@ type MetricsResponse struct {
 	ProjectionRows   int                   `json:"projection_rows"`
 	IndexNodes       int                   `json:"index_nodes"`
 	Queries          metrics.QuerySnapshot `json:"queries"`
+	Caches           CacheMetrics          `json:"caches"`
+}
+
+// CacheMetrics reports the query caches' occupancy gauges and the
+// registration epoch that gates result-cache validity. The hit/miss/
+// eviction counters live under Queries.
+type CacheMetrics struct {
+	Epoch          uint64 `json:"epoch"`
+	QueryCacheLen  int    `json:"query_cache_len"`
+	QueryCacheCap  int    `json:"query_cache_cap"`
+	ResultCacheLen int    `json:"result_cache_len"`
+	ResultCacheCap int    `json:"result_cache_cap"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -309,6 +331,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		ProjectionRows:   st.Registration.ProjectionRows,
 		IndexNodes:       st.Registration.IndexNodes,
 		Queries:          st.Queries,
+		Caches: CacheMetrics{
+			Epoch:          st.Caches.Epoch,
+			QueryCacheLen:  st.Caches.QueryCacheLen,
+			QueryCacheCap:  st.Caches.QueryCacheCap,
+			ResultCacheLen: st.Caches.ResultCacheLen,
+			ResultCacheCap: st.Caches.ResultCacheCap,
+		},
 	})
 }
 
