@@ -1,9 +1,19 @@
 // Command ctdbd serves a contract database over HTTP — the online
-// broker deployment of the paper's system. It loads (or creates) a
-// database snapshot, serves the JSON API of internal/server, and
-// persists the snapshot after every successful registration.
+// broker deployment of the paper's system.
 //
-//	ctdbd -db fares.ctdb -addr :8080 [-events purchase,use,...]
+// The durable deployment gives it a data directory; every
+// registration and removal is written to a write-ahead log before it
+// is acknowledged, checkpoints fold the log into snapshots in the
+// background, and a crashed broker recovers to exactly the
+// acknowledged state on restart:
+//
+//	ctdbd -data-dir /var/lib/ctdb -addr :8080 [-fsync always] [-events p1,p2,...]
+//
+// The legacy single-file mode re-saves a whole snapshot after every
+// registration (simple, but O(database) per write and unregistered
+// ops between save and crash are lost):
+//
+//	ctdbd -db fares.ctdb -addr :8080
 //
 // Example session:
 //
@@ -11,40 +21,76 @@
 //	curl -s -X POST localhost:8080/v1/contracts \
 //	     -d '{"name":"NoRefunds","spec":"G(!refund)"}'
 //	curl -s -X POST localhost:8080/v1/query -d '{"spec":"F refund"}'
+//	curl -s -X POST localhost:8080/v1/checkpoint
+//	curl -s -X DELETE localhost:8080/v1/contracts/NoRefunds
+//
+// SIGINT or SIGTERM shuts down gracefully: in-flight requests drain,
+// the store takes a final checkpoint, and the process logs "clean
+// shutdown" — the next start then recovers with zero replay.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"contractdb/internal/core"
+	"contractdb/internal/metrics"
 	"contractdb/internal/server"
+	"contractdb/internal/store"
 	"contractdb/internal/vocab"
+	"contractdb/internal/wal"
 )
 
 func main() {
-	dbPath := flag.String("db", "", "database snapshot file (created if missing)")
+	dataDir := flag.String("data-dir", "", "durable data directory: write-ahead log + snapshots (recommended)")
+	dbPath := flag.String("db", "", "legacy single-snapshot file, re-saved after every registration")
 	addr := flag.String("addr", ":8080", "listen address")
 	events := flag.String("events", "", "comma-separated vocabulary for a fresh database")
+	fsync := flag.String("fsync", "always", "WAL fsync policy: always | interval | never")
+	fsyncInterval := flag.Duration("fsync-interval", wal.DefaultSyncInterval, "flush period under -fsync interval")
+	checkpointEvery := flag.Int("checkpoint-every", store.DefaultCheckpointRecords, "auto-checkpoint after this many logged operations (negative disables)")
 	parallelism := flag.Int("parallelism", 0, "query worker-pool width (0 = GOMAXPROCS, 1 = sequential)")
 	queryTimeout := flag.Duration("query-timeout", 0, "server-side deadline per query evaluation (0 = none)")
 	stepBudget := flag.Int("step-budget", 0, "default kernel step budget per candidate check (0 = unlimited)")
 	queryCacheSize := flag.Int("query-cache-size", 0, "compiled-query (automaton) cache capacity (0 = default, negative = disabled)")
 	resultCacheSize := flag.Int("result-cache-size", 0, "query result cache capacity (0 = default, negative = disabled)")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
 	flag.Parse()
-	if *dbPath == "" {
-		fmt.Fprintln(os.Stderr, "ctdbd: -db is required")
+
+	if (*dataDir == "") == (*dbPath == "") {
+		fmt.Fprintln(os.Stderr, "ctdbd: exactly one of -data-dir (durable) or -db (legacy snapshot) is required")
 		os.Exit(2)
 	}
 
-	db, err := openOrCreate(*dbPath, *events)
-	if err != nil {
-		log.Fatalf("ctdbd: %v", err)
+	var (
+		db      *core.DB
+		st      *store.Store
+		persist func(*core.DB) error
+		err     error
+	)
+	if *dataDir != "" {
+		st, err = openStore(*dataDir, *events, *fsync, *fsyncInterval, *checkpointEvery)
+		if err != nil {
+			log.Fatalf("ctdbd: %v", err)
+		}
+		db = st.DB()
+	} else {
+		db, err = openOrCreate(*dbPath, *events)
+		if err != nil {
+			log.Fatalf("ctdbd: %v", err)
+		}
+		persist = func(db *core.DB) error { return save(db, *dbPath) }
 	}
+
 	if *parallelism > 0 {
 		db.SetParallelism(*parallelism)
 	}
@@ -52,14 +98,83 @@ func main() {
 		db.SetCacheSizes(*queryCacheSize, *resultCacheSize)
 	}
 	srv := server.New(db)
-	srv.Persist = func(db *core.DB) error { return save(db, *dbPath) }
+	srv.Persist = persist
 	srv.QueryTimeout = *queryTimeout
 	srv.StepBudget = *stepBudget
-
-	log.Printf("ctdbd: serving %d contracts on %s (db: %s)", db.Len(), *addr, *dbPath)
-	if err := srv.ListenAndServe(*addr); err != nil {
-		log.Fatalf("ctdbd: %v", err)
+	if st != nil {
+		srv.Checkpoint = st.Checkpoint
+		srv.Durability = st.Metrics()
 	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errC := make(chan error, 1)
+	go func() { errC <- httpSrv.ListenAndServe() }()
+	log.Printf("ctdbd: serving %d contracts on %s", db.Len(), *addr)
+
+	select {
+	case err := <-errC:
+		log.Fatalf("ctdbd: %v", err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal now kills the process the default way
+	log.Printf("ctdbd: signal received, draining requests")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("ctdbd: http shutdown: %v", err)
+	}
+	if st != nil {
+		if err := st.Close(); err != nil {
+			log.Fatalf("ctdbd: closing store: %v", err)
+		}
+	}
+	log.Printf("ctdbd: clean shutdown")
+}
+
+func openStore(dir, events, fsync string, fsyncInterval time.Duration, checkpointEvery int) (*store.Store, error) {
+	policy, err := wal.ParseSyncPolicy(fsync)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	if events != "" {
+		names = strings.Split(events, ",")
+	}
+	st, err := store.Open(dir, store.Config{
+		Events:            names,
+		Sync:              policy,
+		SyncInterval:      fsyncInterval,
+		CheckpointRecords: checkpointEvery,
+		Metrics:           &metrics.Durability{},
+		Logf:              log.Printf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := st.Recovery
+	switch {
+	case r.Clean:
+		log.Printf("ctdbd: recovered %s clean: %d contracts from %s in %s",
+			dir, st.DB().Len(), orFresh(r.SnapshotPath), r.Duration)
+	default:
+		log.Printf("ctdbd: recovered %s: %d contracts (snapshot %s + %d replayed ops, %d torn bytes truncated, %d snapshots skipped) in %s",
+			dir, st.DB().Len(), orFresh(r.SnapshotPath), r.ReplayedRecords, r.TruncatedBytes, len(r.SkippedSnapshots), r.Duration)
+	}
+	return st, nil
+}
+
+func orFresh(path string) string {
+	if path == "" {
+		return "<fresh>"
+	}
+	return path
 }
 
 func openOrCreate(path, events string) (*core.DB, error) {

@@ -1,0 +1,161 @@
+package main_test
+
+import (
+	"bytes"
+	"net"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"contractdb/internal/server"
+)
+
+// buildDaemon compiles ctdbd once per test binary.
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	bin := filepath.Join(t.TempDir(), "ctdbd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	return l.Addr().String()
+}
+
+type daemon struct {
+	cmd  *exec.Cmd
+	logs *bytes.Buffer
+	addr string
+}
+
+func startDaemon(t *testing.T, bin, dataDir string, extra ...string) *daemon {
+	t.Helper()
+	d := &daemon{logs: &bytes.Buffer{}, addr: freeAddr(t)}
+	args := append([]string{"-data-dir", dataDir, "-addr", d.addr, "-events", "pay,use,refund"}, extra...)
+	d.cmd = exec.Command(bin, args...)
+	d.cmd.Stderr = d.logs
+	d.cmd.Stdout = d.logs
+	if err := d.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if d.cmd.Process != nil {
+			d.cmd.Process.Kill()
+			d.cmd.Wait()
+		}
+	})
+	client := server.NewClient("http://"+d.addr, nil)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := client.Health(); err == nil {
+			return d
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never came up; logs:\n%s", d.logs.String())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+func (d *daemon) client() *server.Client {
+	return server.NewClient("http://"+d.addr, nil)
+}
+
+// TestDaemonGracefulShutdownAndRecovery drives the full operator
+// story: start with a data directory, register over HTTP, SIGTERM,
+// observe the "clean shutdown" log line, restart, observe a clean
+// recovery (zero replay) with the contract still there; then SIGKILL
+// a third run mid-life and watch the fourth replay the WAL instead.
+func TestDaemonGracefulShutdownAndRecovery(t *testing.T) {
+	bin := buildDaemon(t)
+	dataDir := filepath.Join(t.TempDir(), "data")
+
+	d1 := startDaemon(t, bin, dataDir)
+	if _, err := d1.client().Register("NoDoubleRefund", "G(refund -> X G !refund)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.cmd.Wait(); err != nil {
+		t.Fatalf("daemon exited dirty: %v\n%s", err, d1.logs.String())
+	}
+	if !strings.Contains(d1.logs.String(), "clean shutdown") {
+		t.Fatalf("no clean-shutdown log line:\n%s", d1.logs.String())
+	}
+
+	d2 := startDaemon(t, bin, dataDir)
+	logs := d2.logs.String()
+	if !strings.Contains(logs, "recovered") || !strings.Contains(logs, "clean") {
+		t.Errorf("restart after clean shutdown should recover clean:\n%s", logs)
+	}
+	h, err := d2.client().Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Contracts != 1 {
+		t.Fatalf("recovered %d contracts, want 1", h.Contracts)
+	}
+	// Register another, then die without any shutdown path at all.
+	if _, err := d2.client().Register("PayBeforeUse", "G(use -> F pay)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	d2.cmd.Wait()
+
+	d3 := startDaemon(t, bin, dataDir)
+	logs = d3.logs.String()
+	if !strings.Contains(logs, "replayed") {
+		t.Errorf("restart after SIGKILL should replay the WAL:\n%s", logs)
+	}
+	h, err = d3.client().Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Contracts != 2 {
+		t.Fatalf("recovered %d contracts after crash, want 2", h.Contracts)
+	}
+	if err := d3.client().Unregister("NoDoubleRefund"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d3.client().Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDaemonFlagValidation: -db and -data-dir are mutually exclusive,
+// and neither means there is nowhere to put data.
+func TestDaemonFlagValidation(t *testing.T) {
+	bin := buildDaemon(t)
+	for _, args := range [][]string{
+		{},
+		{"-db", "x.ctdb", "-data-dir", "y"},
+	} {
+		cmd := exec.Command(bin, args...)
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			t.Errorf("args %v: daemon started, want usage error", args)
+		}
+		if !strings.Contains(string(out), "exactly one of") {
+			t.Errorf("args %v: unexpected output %q", args, out)
+		}
+	}
+}

@@ -111,7 +111,7 @@ func (db *DB) RegisterBatch(specs []Registration, workers int) []BatchResult {
 		}
 		name := specs[i].Name
 		if name == "" {
-			name = fmt.Sprintf("contract-%d", len(db.contracts))
+			name = db.nextAutoName()
 		}
 		if _, dup := db.byName[name]; dup {
 			out[i].Err = fmt.Errorf("core: contract %q already registered", name)
@@ -124,6 +124,10 @@ func (db *DB) RegisterBatch(specs []Registration, workers int) []BatchResult {
 			auto:        p.auto,
 			checker:     permission.NewChecker(p.auto),
 			projections: p.projections,
+		}
+		if err := db.logRegisterLocked(c); err != nil {
+			out[i].Err = fmt.Errorf("core: contract %q: %w", name, err)
+			continue
 		}
 		t := time.Now()
 		db.index.Insert(int(c.ID), p.auto)

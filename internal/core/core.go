@@ -18,6 +18,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -230,6 +231,26 @@ func (c *Contract) Automaton() *buchi.BA { return c.auto }
 // Events returns the set of events the contract cites.
 func (c *Contract) Events() vocab.Set { return c.auto.Events }
 
+// OpLog is the durability hook of the storage engine: a write-ahead
+// sink that receives every mutating operation after it has been
+// validated and before it is applied to the in-memory state
+// (append-before-apply). The calls happen under the database's write
+// lock, so the log order is exactly the apply order. A sink error
+// aborts the operation — nothing is applied that was not first logged.
+// internal/store implements it over a wal.Log.
+type OpLog interface {
+	// LogRegister receives the encoded registration record (the
+	// byte-deterministic formatVersion-2 per-contract encoding,
+	// replayable via ApplyRegistration).
+	LogRegister(encoded []byte) error
+	// LogUnregister receives the name of the contract being removed.
+	LogUnregister(name string) error
+}
+
+// ErrDurability marks a mutation rejected because its write-ahead log
+// append failed; the in-memory state was not changed.
+var ErrDurability = errors.New("durability log append failed")
+
 // DB is the contract database. All methods are safe for concurrent
 // use.
 type DB struct {
@@ -241,6 +262,13 @@ type DB struct {
 	byName    map[string]*Contract
 	index     *prefilter.Index
 
+	// oplog, when non-nil, durably records every mutation before it is
+	// applied (see OpLog). autoname numbers the generated names of
+	// anonymous registrations; it only moves forward so an unregister
+	// can never make a generated name collide.
+	oplog    OpLog
+	autoname int
+
 	// registration-time cost accounting for the §7.4 measurements
 	registerTime   time.Duration
 	projectionTime time.Duration
@@ -251,8 +279,9 @@ type DB struct {
 	// is updated outside db.mu.
 	metrics *metrics.Query
 
-	// epoch counts completed registrations; it stamps result-cache
-	// entries so registering a contract invalidates cached results
+	// epoch counts completed mutations (registrations, batch loads,
+	// unregistrations); it stamps result-cache entries so any mutation
+	// invalidates cached results
 	// without clearing the cache or blocking queries. Guarded by mu
 	// (bumped under the write lock, read under the read lock, so it is
 	// constant for the duration of any evaluation).
@@ -363,12 +392,16 @@ func (db *DB) ByName(name string) (*Contract, bool) {
 // unsatisfiable specification is rejected: a contract that allows no
 // behavior at all is always a publishing mistake, and it could never
 // permit any query.
+//
+// With an OpLog attached, the fully validated registration is appended
+// to the log before it becomes visible; a log failure rejects the
+// registration with ErrDurability.
 func (db *DB) Register(name string, spec *ltl.Expr) (*Contract, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	start := time.Now()
 	if name == "" {
-		name = fmt.Sprintf("contract-%d", len(db.contracts))
+		name = db.nextAutoName()
 	}
 	if _, dup := db.byName[name]; dup {
 		return nil, fmt.Errorf("core: contract %q already registered", name)
@@ -388,18 +421,106 @@ func (db *DB) Register(name string, spec *ltl.Expr) (*Contract, error) {
 		checker: permission.NewChecker(auto),
 	}
 	t := time.Now()
-	db.index.Insert(int(c.ID), auto)
-	db.indexTime += time.Since(t)
-
-	t = time.Now()
 	c.projections = bisim.Precompute(auto, db.effectiveBudget(auto))
 	db.projectionTime += time.Since(t)
+
+	if err := db.logRegisterLocked(c); err != nil {
+		return nil, fmt.Errorf("core: contract %q: %w", name, err)
+	}
+
+	t = time.Now()
+	db.index.Insert(int(c.ID), auto)
+	db.indexTime += time.Since(t)
 
 	db.contracts = append(db.contracts, c)
 	db.byName[name] = c
 	db.epoch++
 	db.registerTime += time.Since(start)
 	return c, nil
+}
+
+// nextAutoName mints an unused generated name. Callers hold the write
+// lock.
+func (db *DB) nextAutoName() string {
+	for {
+		name := fmt.Sprintf("contract-%d", db.autoname)
+		db.autoname++
+		if _, dup := db.byName[name]; !dup {
+			return name
+		}
+	}
+}
+
+// logRegisterLocked appends c's registration to the op log, if one is
+// attached. Callers hold the write lock and have fully validated c.
+func (db *DB) logRegisterLocked(c *Contract) error {
+	if db.oplog == nil {
+		return nil
+	}
+	enc, err := db.encodeRegistration(c)
+	if err != nil {
+		return err
+	}
+	if err := db.oplog.LogRegister(enc); err != nil {
+		return fmt.Errorf("%w: %w", ErrDurability, err)
+	}
+	return nil
+}
+
+// SetOpLog attaches (or, with nil, detaches) the durability sink that
+// receives every subsequent mutation before it is applied. The store
+// layer calls this once after recovery, before the database serves
+// writers.
+func (db *DB) SetOpLog(l OpLog) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.oplog = l
+}
+
+// ErrNotFound marks operations naming a contract the database does not
+// hold.
+var ErrNotFound = errors.New("contract not found")
+
+// Unregister removes the named contract: its entry, its prefilter
+// postings and its projection partitions all go, the remaining
+// contracts are re-identified densely, and the cache epoch advances so
+// no cached result can keep serving the removed contract. Unknown
+// names report ErrNotFound. With an OpLog attached the removal is
+// logged before it is applied.
+func (db *DB) Unregister(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	c, ok := db.byName[name]
+	if !ok {
+		return fmt.Errorf("core: unregister: no contract named %q: %w", name, ErrNotFound)
+	}
+	if db.oplog != nil {
+		if err := db.oplog.LogUnregister(name); err != nil {
+			return fmt.Errorf("core: unregister %q: %w: %w", name, ErrDurability, err)
+		}
+	}
+	db.removeLocked(c)
+	return nil
+}
+
+// removeLocked deletes c and restores the dense-id invariant: ids are
+// reassigned in order and the prefilter index is rebuilt over the
+// survivors (its postings are not individually erasable — node bitsets
+// only record membership, not which labels produced it — and an index
+// rebuild is cheap next to the translation work registration already
+// paid). Callers hold the write lock.
+func (db *DB) removeLocked(c *Contract) {
+	delete(db.byName, c.Name)
+	db.contracts = append(db.contracts[:c.ID], db.contracts[c.ID+1:]...)
+	t := time.Now()
+	ix := prefilter.New(db.opts.prefilterK())
+	for i, cc := range db.contracts {
+		cc.ID = ContractID(i)
+		ix.Insert(i, cc.auto)
+	}
+	db.index = ix
+	db.indexTime += time.Since(t)
+	db.epoch++
 }
 
 // effectiveBudget adapts the projection budget to the automaton size:

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"contractdb/internal/bisim"
+	"contractdb/internal/ltl"
+	"contractdb/internal/permission"
+)
+
+// The write-ahead log's per-operation encoding. A registration record
+// carries the same per-contract payload a formatVersion-2 snapshot
+// does — spec, translated automaton, projection partitions — so replay
+// restores the precomputed artifacts instead of redoing the paper's
+// expensive registration step, and byte for byte reproduces the state
+// a never-crashed database would hold. It also carries the full event
+// vocabulary at registration time (names in id order): automaton
+// labels are bitsets over vocabulary ids, so replay must intern events
+// in exactly the original order before decoding them.
+
+// registrationRecord is the payload of one WAL register record.
+type registrationRecord struct {
+	FormatVersion int
+	Events        []string // vocabulary at registration, in id order
+	Contract      contractSnapshot
+}
+
+// encodeRegistration serializes c for the op log. Callers hold db.mu
+// (read or write); Register calls it under the write lock before the
+// contract becomes visible.
+func (db *DB) encodeRegistration(c *Contract) ([]byte, error) {
+	rec := registrationRecord{
+		FormatVersion: formatVersion,
+		Events:        db.voc.Names(),
+		Contract: contractSnapshot{
+			Name:        c.Name,
+			Spec:        c.Spec.String(),
+			Auto:        c.auto,
+			Projections: c.projections.Export(),
+		},
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
+		return nil, fmt.Errorf("encode registration: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// ApplyRegistration installs a contract from a log record produced by
+// the Register path. It is the replay half of the write-ahead
+// protocol: it validates like Load, never logs, and is idempotent — a
+// name already present is left untouched, because recovery replays a
+// log suffix that may overlap the snapshot state (the checkpoint
+// boundary is a conservative lower bound; see internal/store).
+func (db *DB) ApplyRegistration(data []byte) error {
+	var rec registrationRecord
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&rec); err != nil {
+		return fmt.Errorf("core: replay: %w", err)
+	}
+	if rec.FormatVersion != formatVersion {
+		return fmt.Errorf("core: replay: record has format version %d, but this build supports only version %d",
+			rec.FormatVersion, formatVersion)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.byName[rec.Contract.Name]; dup {
+		return nil
+	}
+	// Restore the vocabulary the record's automaton ids were minted
+	// against. Interning in record order either matches the existing
+	// prefix exactly or extends it; a divergent id means the log does
+	// not belong to this database's lineage.
+	for i, name := range rec.Events {
+		id, err := db.voc.Add(name)
+		if err != nil {
+			return fmt.Errorf("core: replay: %w", err)
+		}
+		if int(id) != i {
+			return fmt.Errorf("core: replay: event %q interned as id %d, record expects %d (log does not match snapshot)",
+				name, id, i)
+		}
+	}
+	spec, err := ltl.Parse(rec.Contract.Spec)
+	if err != nil {
+		return fmt.Errorf("core: replay: contract %q: %w", rec.Contract.Name, err)
+	}
+	if rec.Contract.Auto == nil {
+		return fmt.Errorf("core: replay: contract %q has no automaton", rec.Contract.Name)
+	}
+	if err := rec.Contract.Auto.Validate(); err != nil {
+		return fmt.Errorf("core: replay: contract %q: %w", rec.Contract.Name, err)
+	}
+	projections, err := bisim.ImportProjections(rec.Contract.Auto, rec.Contract.Projections)
+	if err != nil {
+		return fmt.Errorf("core: replay: contract %q: %w", rec.Contract.Name, err)
+	}
+	c := &Contract{
+		ID:          ContractID(len(db.contracts)),
+		Name:        rec.Contract.Name,
+		Spec:        spec,
+		auto:        rec.Contract.Auto,
+		checker:     permission.NewChecker(rec.Contract.Auto),
+		projections: projections,
+	}
+	db.index.Insert(int(c.ID), c.auto)
+	db.contracts = append(db.contracts, c)
+	db.byName[c.Name] = c
+	db.epoch++
+	return nil
+}
+
+// ApplyUnregister is the replay half of Unregister: it never logs and
+// is idempotent (removing an absent name is a no-op, for the same
+// overlapping-suffix reason as ApplyRegistration).
+func (db *DB) ApplyUnregister(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	c, ok := db.byName[name]
+	if !ok {
+		return nil
+	}
+	db.removeLocked(c)
+	return nil
+}

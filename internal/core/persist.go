@@ -72,7 +72,8 @@ func Load(r io.Reader) (*DB, error) {
 		return nil, fmt.Errorf("core: load: %w", err)
 	}
 	if snap.FormatVersion != formatVersion {
-		return nil, fmt.Errorf("core: load: unsupported format version %d", snap.FormatVersion)
+		return nil, fmt.Errorf("core: load: snapshot has format version %d, but this build supports only version %d (re-save with a matching build or re-register from specifications)",
+			snap.FormatVersion, formatVersion)
 	}
 	voc, err := vocab.FromNames(snap.Events...)
 	if err != nil {

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"strings"
+	"testing"
+
+	"contractdb/internal/datagen"
+)
+
+// TestLoadVersionMismatch doctors the format-version field of an
+// otherwise valid snapshot and checks Load names both the found and
+// the supported version in its error — an operator staring at a failed
+// startup needs to know which side is stale.
+func TestLoadVersionMismatch(t *testing.T) {
+	db := NewDB(datagen.NewVocabulary(), Options{})
+	if _, err := db.RegisterLTL("c", "G(p1 -> F p2)"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Decode to the snapshot struct, doctor the version, re-encode —
+	// the in-package equivalent of flipping the version byte on disk,
+	// without depending on gob's wire layout.
+	var snap dbSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	snap.FormatVersion = 99
+	var doctored bytes.Buffer
+	if err := gob.NewEncoder(&doctored).Encode(snap); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err := Load(&doctored)
+	if err == nil {
+		t.Fatal("Load accepted a version-99 snapshot")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "99") {
+		t.Errorf("error does not name the found version: %v", err)
+	}
+	if !strings.Contains(msg, "2") {
+		t.Errorf("error does not name the supported version: %v", err)
+	}
+}

@@ -196,6 +196,72 @@ type QuerySnapshot struct {
 	Permitted         int64 `json:"permitted"`
 }
 
+// Durability aggregates the storage engine's observability: WAL
+// append and fsync latency, bytes written, checkpoint and prune
+// activity, and what recovery had to do at open. One instance lives
+// on each store.Store (the wal.Log shares it) and is surfaced through
+// GET /v1/metrics when the server fronts a durable store.
+type Durability struct {
+	// WAL write path.
+	WALAppends Counter // records appended
+	WALBytes   Counter // framed bytes written (payload + framing)
+	WALSyncs   Counter // fsync calls on the active segment
+	WALAppend  Histogram
+	WALSync    Histogram
+
+	// Checkpointing.
+	Checkpoints      Counter // snapshots written and renamed into place
+	CheckpointErrors Counter // failed checkpoint attempts (auto or explicit)
+	CheckpointWrite  Histogram
+	SegmentsPruned   Counter // WAL segment files deleted after checkpoints
+	SnapshotsPruned  Counter // obsolete snapshot files deleted
+
+	// Recovery (observed once per Open).
+	RecoveryReplayed  Counter // WAL records replayed past the snapshot
+	RecoveryTruncated Counter // torn-tail bytes discarded at open
+	Recovery          Histogram
+}
+
+// DurabilitySnapshot is the JSON view of Durability.
+type DurabilitySnapshot struct {
+	WALAppends int64             `json:"wal_appends"`
+	WALBytes   int64             `json:"wal_bytes"`
+	WALSyncs   int64             `json:"wal_syncs"`
+	WALAppend  HistogramSnapshot `json:"wal_append"`
+	WALSync    HistogramSnapshot `json:"wal_sync"`
+
+	Checkpoints      int64             `json:"checkpoints"`
+	CheckpointErrors int64             `json:"checkpoint_errors"`
+	CheckpointWrite  HistogramSnapshot `json:"checkpoint_write"`
+	SegmentsPruned   int64             `json:"segments_pruned"`
+	SnapshotsPruned  int64             `json:"snapshots_pruned"`
+
+	RecoveryReplayed  int64             `json:"recovery_replayed"`
+	RecoveryTruncated int64             `json:"recovery_truncated_bytes"`
+	Recovery          HistogramSnapshot `json:"recovery"`
+}
+
+// Snapshot captures every durability counter and histogram.
+func (d *Durability) Snapshot() DurabilitySnapshot {
+	return DurabilitySnapshot{
+		WALAppends: d.WALAppends.Value(),
+		WALBytes:   d.WALBytes.Value(),
+		WALSyncs:   d.WALSyncs.Value(),
+		WALAppend:  d.WALAppend.Snapshot(),
+		WALSync:    d.WALSync.Snapshot(),
+
+		Checkpoints:      d.Checkpoints.Value(),
+		CheckpointErrors: d.CheckpointErrors.Value(),
+		CheckpointWrite:  d.CheckpointWrite.Snapshot(),
+		SegmentsPruned:   d.SegmentsPruned.Value(),
+		SnapshotsPruned:  d.SnapshotsPruned.Value(),
+
+		RecoveryReplayed:  d.RecoveryReplayed.Value(),
+		RecoveryTruncated: d.RecoveryTruncated.Value(),
+		Recovery:          d.Recovery.Snapshot(),
+	}
+}
+
 // Snapshot captures every counter and histogram.
 func (q *Query) Snapshot() QuerySnapshot {
 	return QuerySnapshot{

@@ -73,6 +73,19 @@ func (c *Client) Register(name, spec string) (ContractInfo, error) {
 	return out, err
 }
 
+// Unregister removes a contract by name.
+func (c *Client) Unregister(name string) error {
+	return c.do(http.MethodDelete, "/v1/contracts/"+name, nil, nil)
+}
+
+// Checkpoint forces a durability checkpoint and returns the new
+// snapshot boundary. Servers without a durable store answer 501.
+func (c *Client) Checkpoint() (CheckpointResponse, error) {
+	var out CheckpointResponse
+	err := c.do(http.MethodPost, "/v1/checkpoint", nil, &out)
+	return out, err
+}
+
 // Contracts lists registered contracts.
 func (c *Client) Contracts() ([]ContractInfo, error) {
 	var out []ContractInfo

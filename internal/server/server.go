@@ -9,7 +9,9 @@
 //	GET  /v1/contracts           list registered contracts
 //	GET  /v1/contracts/{name}    one contract's spec and automaton stats
 //	POST /v1/contracts           register {"name": ..., "spec": ...}
+//	DELETE /v1/contracts/{name}  unregister a contract
 //	POST /v1/query               evaluate {"spec": ..., "mode": "opt"|"scan", ...}
+//	POST /v1/checkpoint          force a durability checkpoint (501 without a store)
 //	GET  /v1/stats               registration/index statistics
 //	GET  /v1/metrics             per-stage query metrics (expvar-style JSON)
 //
@@ -51,6 +53,12 @@ type Server struct {
 	// StepBudget is the default kernel step budget applied to queries
 	// that do not set their own; zero is unlimited.
 	StepBudget int
+	// Checkpoint, when non-nil, backs POST /v1/checkpoint; it returns
+	// the new snapshot boundary. Left nil (no durable store) the
+	// endpoint answers 501.
+	Checkpoint func() (uint64, error)
+	// Durability, when non-nil, is folded into /v1/metrics.
+	Durability *metrics.Durability
 }
 
 // New returns a server for the database.
@@ -60,7 +68,9 @@ func New(db *core.DB) *Server {
 	s.mux.HandleFunc("GET /v1/contracts", s.handleList)
 	s.mux.HandleFunc("GET /v1/contracts/{name}", s.handleGet)
 	s.mux.HandleFunc("POST /v1/contracts", s.handleRegister)
+	s.mux.HandleFunc("DELETE /v1/contracts/{name}", s.handleUnregister)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	return s
@@ -181,6 +191,48 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusCreated, s.contractInfo(c, true))
+}
+
+func (s *Server) handleUnregister(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.db.Unregister(name); err != nil {
+		switch {
+		case errors.Is(err, core.ErrNotFound):
+			writeErr(w, http.StatusNotFound, err)
+		case errors.Is(err, core.ErrDurability):
+			writeErr(w, http.StatusInternalServerError, err)
+		default:
+			writeErr(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	if s.Persist != nil {
+		if err := s.Persist(s.db); err != nil {
+			writeErr(w, http.StatusInternalServerError, fmt.Errorf("unregistered but snapshot failed: %w", err))
+			return
+		}
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// CheckpointResponse reports where the forced checkpoint landed: every
+// operation with sequence below Boundary is now covered by a fsynced
+// snapshot.
+type CheckpointResponse struct {
+	Boundary uint64 `json:"boundary"`
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
+	if s.Checkpoint == nil {
+		writeErr(w, http.StatusNotImplemented, errors.New("no durable store configured (start ctdbd with -data-dir)"))
+		return
+	}
+	boundary, err := s.Checkpoint()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, CheckpointResponse{Boundary: boundary})
 }
 
 // QueryRequest evaluates one temporal query.
@@ -310,6 +362,9 @@ type MetricsResponse struct {
 	IndexNodes       int                   `json:"index_nodes"`
 	Queries          metrics.QuerySnapshot `json:"queries"`
 	Caches           CacheMetrics          `json:"caches"`
+	// Durability is present only when the server fronts a durable
+	// store (WAL + checkpoints).
+	Durability *metrics.DurabilitySnapshot `json:"durability,omitempty"`
 }
 
 // CacheMetrics reports the query caches' occupancy gauges and the
@@ -325,7 +380,13 @@ type CacheMetrics struct {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	st := s.db.Stats()
+	var durability *metrics.DurabilitySnapshot
+	if s.Durability != nil {
+		snap := s.Durability.Snapshot()
+		durability = &snap
+	}
 	writeJSON(w, http.StatusOK, MetricsResponse{
+		Durability:       durability,
 		Contracts:        st.Registration.Contracts,
 		VocabularyEvents: s.db.Vocabulary().Len(),
 		ProjectionRows:   st.Registration.ProjectionRows,
@@ -348,16 +409,4 @@ func decodeBody(r *http.Request, v any) error {
 		return fmt.Errorf("bad request body: %w", err)
 	}
 	return nil
-}
-
-// ListenAndServe runs the server until the context the caller manages
-// shuts the http.Server down. Exposed for cmd/ctdbd; tests use
-// httptest against the handler directly.
-func (s *Server) ListenAndServe(addr string) error {
-	srv := &http.Server{
-		Addr:              addr,
-		Handler:           s,
-		ReadHeaderTimeout: 10 * time.Second,
-	}
-	return srv.ListenAndServe()
 }

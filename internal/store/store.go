@@ -1,0 +1,528 @@
+// Package store is the broker's durable storage engine: it owns a
+// data directory and keeps a core.DB crash-safe by combining the
+// write-ahead log of internal/wal with periodic snapshots.
+//
+// Layout of a data directory:
+//
+//	snapshot-<boundary>.ctdb   core.Save snapshot covering every op
+//	                           with sequence < boundary
+//	wal/wal-<firstSeq>.seg     log segments (see internal/wal)
+//
+// Open recovers: it loads the newest snapshot that still decodes,
+// opens the WAL (which truncates a torn tail and refuses mid-log
+// corruption), and replays every record past the snapshot's boundary.
+// Replay restores the precomputed registration artifacts from the
+// records themselves — no automata are re-translated — so recovery
+// cost is I/O, not the paper's hours-long registration step.
+//
+// The snapshot boundary is a conservative lower bound: a checkpoint
+// seals the WAL at boundary B and then snapshots, so ops ≥ B that land
+// while the snapshot is being written are both in the snapshot and in
+// the replayed suffix. Replay is therefore idempotent (core's
+// Apply* operations skip what is already present / already absent),
+// which makes the recovered state converge on exactly the state a
+// never-crashed database would hold.
+//
+// Checkpointing runs in the background when the record- or byte-count
+// since the last snapshot crosses a threshold, and on demand (the
+// server's POST /v1/checkpoint). A checkpoint writes the snapshot to a
+// temp file, fsyncs, atomically renames, fsyncs the directory, then
+// prunes snapshots beyond the retention count and every WAL segment
+// the oldest retained snapshot makes obsolete. Close checkpoints one
+// final time, so a cleanly shut down store reopens with zero replay.
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"contractdb/internal/core"
+	"contractdb/internal/metrics"
+	"contractdb/internal/vocab"
+	"contractdb/internal/wal"
+)
+
+// WAL record types.
+const (
+	recordRegister   = byte(1)
+	recordUnregister = byte(2)
+)
+
+// Defaults for Config's zero values.
+const (
+	DefaultCheckpointRecords = 1024
+	DefaultCheckpointBytes   = 64 << 20
+	DefaultKeepSnapshots     = 2
+)
+
+// Config configures a Store. The zero value is usable: an empty
+// vocabulary, default core options, fsync on every append, automatic
+// checkpoints at the defaults.
+type Config struct {
+	// Events is the vocabulary of a freshly created database; ignored
+	// when the directory already holds a snapshot.
+	Events []string
+	// Core are the registration options of a freshly created database;
+	// ignored when a snapshot exists (options travel in the snapshot).
+	Core core.Options
+	// Sync is the WAL fsync policy; SyncInterval uses SyncInterval as
+	// the period.
+	Sync         wal.SyncPolicy
+	SyncInterval time.Duration
+	// SegmentBytes is the WAL segment rotation threshold.
+	SegmentBytes int64
+	// CheckpointRecords and CheckpointBytes trigger a background
+	// checkpoint once that many records / framed bytes accumulate since
+	// the last snapshot. Zero selects the defaults; negative disables
+	// that trigger. With both disabled only explicit Checkpoint calls
+	// (and Close) snapshot.
+	CheckpointRecords int
+	CheckpointBytes   int64
+	// KeepSnapshots is how many snapshot generations to retain (the WAL
+	// is pruned against the oldest retained one). Zero selects
+	// DefaultKeepSnapshots.
+	KeepSnapshots int
+	// Metrics receives durability counters; a fresh registry is created
+	// when nil.
+	Metrics *metrics.Durability
+	// Logf, when non-nil, receives operational log lines (background
+	// checkpoint failures and recovery notes).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) checkpointRecords() int {
+	if c.CheckpointRecords == 0 {
+		return DefaultCheckpointRecords
+	}
+	return c.CheckpointRecords
+}
+
+func (c Config) checkpointBytes() int64 {
+	if c.CheckpointBytes == 0 {
+		return DefaultCheckpointBytes
+	}
+	return c.CheckpointBytes
+}
+
+func (c Config) keepSnapshots() int {
+	if c.KeepSnapshots <= 0 {
+		return DefaultKeepSnapshots
+	}
+	return c.KeepSnapshots
+}
+
+// RecoveryInfo reports what Open had to do to reach a servable state.
+type RecoveryInfo struct {
+	SnapshotSeq      uint64   // boundary of the snapshot loaded (0 = started empty)
+	SnapshotPath     string   // file it came from ("" = started empty)
+	SkippedSnapshots []string // newer snapshots that failed to decode
+	ReplayedRecords  int      // WAL records applied past the snapshot
+	TruncatedBytes   int64    // torn-tail bytes the WAL discarded
+	Duration         time.Duration
+	// Clean reports a recovery that found exactly the state the last
+	// process left: nothing replayed, nothing truncated, no snapshot
+	// skipped.
+	Clean bool
+}
+
+// Store is an open durable contract database. All methods are safe
+// for concurrent use.
+type Store struct {
+	dir string
+	cfg Config
+	db  *core.DB
+	log *wal.Log
+	met *metrics.Durability
+
+	// Recovery describes what Open did; read-only afterwards.
+	Recovery RecoveryInfo
+
+	mu           sync.Mutex // guards the fields below
+	sinceRecords int        // appends since the last snapshot
+	sinceBytes   int64
+	lastBoundary uint64 // boundary of the newest snapshot on disk
+	closed       bool
+
+	ckptMu sync.Mutex // serializes checkpoint runs
+	ckptC  chan struct{}
+	stop   chan struct{}
+	wg     sync.WaitGroup
+}
+
+func snapshotName(boundary uint64) string {
+	return fmt.Sprintf("snapshot-%020d.ctdb", boundary)
+}
+
+type snapshotFile struct {
+	path     string
+	boundary uint64
+}
+
+// listSnapshots returns the directory's snapshots, newest first.
+func listSnapshots(dir string) ([]snapshotFile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var out []snapshotFile
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "snapshot-") || !strings.HasSuffix(name, ".ctdb") {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "snapshot-"), ".ctdb"), 10, 64)
+		if err != nil {
+			continue // not ours
+		}
+		out = append(out, snapshotFile{path: filepath.Join(dir, name), boundary: seq})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].boundary > out[j].boundary })
+	return out, nil
+}
+
+// Open recovers (or creates) the store in dir and returns it ready to
+// serve. The returned store has installed itself as the database's
+// OpLog, so every mutation on DB() is durably logged before it
+// applies.
+func Open(dir string, cfg Config) (*Store, error) {
+	start := time.Now()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	met := cfg.Metrics
+	if met == nil {
+		met = &metrics.Durability{}
+	}
+	// A crash mid-checkpoint leaves a temp file the rename never
+	// promoted; it holds nothing the WAL does not.
+	stale, _ := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	for _, p := range stale {
+		os.Remove(p)
+	}
+
+	snaps, err := listSnapshots(dir)
+	if err != nil {
+		return nil, err
+	}
+	var info RecoveryInfo
+	var db *core.DB
+	boundary := uint64(1)
+	for _, sn := range snaps {
+		f, err := os.Open(sn.path)
+		if err != nil {
+			info.SkippedSnapshots = append(info.SkippedSnapshots, sn.path)
+			continue
+		}
+		db, err = core.Load(f)
+		f.Close()
+		if err != nil {
+			if cfg.Logf != nil {
+				cfg.Logf("store: skipping snapshot %s: %v", sn.path, err)
+			}
+			info.SkippedSnapshots = append(info.SkippedSnapshots, sn.path)
+			db = nil
+			continue
+		}
+		boundary = sn.boundary
+		info.SnapshotSeq = sn.boundary
+		info.SnapshotPath = sn.path
+		break
+	}
+	fresh := false
+	if db == nil {
+		if len(snaps) > 0 {
+			// Snapshots existed and none decodes: the WAL alone cannot
+			// reach back to sequence 1 (it is pruned against snapshots),
+			// so recovering here would fabricate state. Refuse loudly.
+			return nil, fmt.Errorf("store: all %d snapshots in %s are unreadable; refusing to recover from the WAL alone", len(snaps), dir)
+		}
+		voc, err := vocab.FromNames(cfg.Events...)
+		if err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		db = core.NewDB(voc, cfg.Core)
+		fresh = true
+	}
+
+	w, err := wal.Open(filepath.Join(dir, "wal"), wal.Options{
+		SegmentBytes: cfg.SegmentBytes,
+		Sync:         cfg.Sync,
+		SyncInterval: cfg.SyncInterval,
+		StartSeq:     boundary,
+		Metrics:      met,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			w.Close()
+		}
+	}()
+	info.TruncatedBytes = w.TruncatedBytes
+
+	// The log must reach back to the snapshot boundary: a first
+	// retained record later than the boundary means ops were pruned
+	// that the snapshot does not cover.
+	if first := w.FirstSeq(); first != 0 && first > boundary {
+		return nil, fmt.Errorf("store: WAL starts at seq %d but snapshot covers only seq < %d (log gap)", first, boundary)
+	}
+	if next := w.NextSeq(); next < boundary {
+		return nil, fmt.Errorf("store: snapshot covers seq < %d but the WAL ends at %d (log lost)", boundary, next)
+	}
+
+	replayed := 0
+	err = w.Replay(boundary, func(r wal.Record) error {
+		switch r.Type {
+		case recordRegister:
+			if err := db.ApplyRegistration(r.Data); err != nil {
+				return err
+			}
+		case recordUnregister:
+			if err := db.ApplyUnregister(string(r.Data)); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("store: replay: unknown record type %d at seq %d (written by a newer build?)", r.Type, r.Seq)
+		}
+		replayed++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	info.ReplayedRecords = replayed
+	info.Duration = time.Since(start)
+	info.Clean = replayed == 0 && info.TruncatedBytes == 0 && len(info.SkippedSnapshots) == 0
+	met.RecoveryReplayed.Add(int64(replayed))
+	met.RecoveryTruncated.Add(info.TruncatedBytes)
+	met.Recovery.Observe(info.Duration)
+
+	s := &Store{
+		dir:          dir,
+		cfg:          cfg,
+		db:           db,
+		log:          w,
+		met:          met,
+		Recovery:     info,
+		lastBoundary: boundary,
+		ckptC:        make(chan struct{}, 1),
+		stop:         make(chan struct{}),
+	}
+	if fresh {
+		// Materialize the empty state so the vocabulary and options
+		// survive even if the process dies before the first checkpoint.
+		if err := s.writeSnapshot(boundary); err != nil {
+			return nil, err
+		}
+	}
+	db.SetOpLog(s)
+	s.wg.Add(1)
+	go s.checkpointLoop()
+	ok = true
+	return s, nil
+}
+
+// DB returns the recovered database. Mutations on it are logged
+// through the store; queries touch the store not at all.
+func (s *Store) DB() *core.DB { return s.db }
+
+// Metrics returns the store's durability registry.
+func (s *Store) Metrics() *metrics.Durability { return s.met }
+
+// LogRegister implements core.OpLog. Called under the database's
+// write lock, so append order is apply order.
+func (s *Store) LogRegister(encoded []byte) error {
+	return s.logOp(recordRegister, encoded)
+}
+
+// LogUnregister implements core.OpLog.
+func (s *Store) LogUnregister(name string) error {
+	return s.logOp(recordUnregister, []byte(name))
+}
+
+func (s *Store) logOp(typ byte, data []byte) error {
+	if _, err := s.log.Append(typ, data); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.sinceRecords++
+	s.sinceBytes += wal.FrameSize(len(data))
+	trigger := (s.cfg.checkpointRecords() > 0 && s.sinceRecords >= s.cfg.checkpointRecords()) ||
+		(s.cfg.checkpointBytes() > 0 && s.sinceBytes >= s.cfg.checkpointBytes())
+	s.mu.Unlock()
+	if trigger {
+		select {
+		case s.ckptC <- struct{}{}:
+		default: // one already queued
+		}
+	}
+	return nil
+}
+
+// checkpointLoop runs threshold-triggered checkpoints off the write
+// path (a checkpoint needs the database read lock; the trigger fires
+// under the write lock).
+func (s *Store) checkpointLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.ckptC:
+			if _, err := s.Checkpoint(); err != nil {
+				s.met.CheckpointErrors.Inc()
+				if s.cfg.Logf != nil {
+					s.cfg.Logf("store: background checkpoint: %v", err)
+				}
+			}
+		}
+	}
+}
+
+// Checkpoint seals the WAL, writes a snapshot covering everything
+// below the returned boundary, and prunes obsolete snapshots and
+// segments. Concurrent registrations and queries keep running; only
+// one checkpoint runs at a time. A no-op (nothing appended since the
+// last snapshot) returns the existing boundary.
+func (s *Store) Checkpoint() (uint64, error) {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("store: closed")
+	}
+	s.mu.Unlock()
+	return s.checkpoint()
+}
+
+// checkpoint is Checkpoint without the closed guard; Close uses it for
+// the final flush. Callers hold ckptMu.
+func (s *Store) checkpoint() (uint64, error) {
+	boundary, err := s.log.Seal()
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	last := s.lastBoundary
+	s.mu.Unlock()
+	if boundary == last {
+		return boundary, nil // nothing new to cover
+	}
+
+	start := time.Now()
+	if err := s.writeSnapshot(boundary); err != nil {
+		return 0, err
+	}
+	s.met.CheckpointWrite.Observe(time.Since(start))
+	s.met.Checkpoints.Inc()
+
+	s.mu.Lock()
+	s.lastBoundary = boundary
+	// Appends racing the snapshot write are both in it and still in the
+	// WAL suffix; resetting to zero over-covers them, which only delays
+	// the next checkpoint, never loses data.
+	s.sinceRecords, s.sinceBytes = 0, 0
+	s.mu.Unlock()
+
+	if err := s.prune(); err != nil {
+		return boundary, err
+	}
+	return boundary, nil
+}
+
+// writeSnapshot persists the current state as covering seq < boundary:
+// temp file, fsync, atomic rename, directory fsync.
+func (s *Store) writeSnapshot(boundary uint64) error {
+	final := filepath.Join(s.dir, snapshotName(boundary))
+	tmp := final + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store: checkpoint: %w", err)
+	}
+	if err := s.db.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: checkpoint: %w", err)
+	}
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: checkpoint: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// prune removes snapshots beyond the retention count and WAL segments
+// entirely covered by the oldest retained snapshot.
+func (s *Store) prune() error {
+	snaps, err := listSnapshots(s.dir)
+	if err != nil {
+		return err
+	}
+	keep := s.cfg.keepSnapshots()
+	if len(snaps) > keep {
+		for _, sn := range snaps[keep:] {
+			if err := os.Remove(sn.path); err != nil {
+				return fmt.Errorf("store: prune: %w", err)
+			}
+			s.met.SnapshotsPruned.Inc()
+		}
+		snaps = snaps[:keep]
+	}
+	oldest := snaps[len(snaps)-1].boundary
+	if _, err := s.log.PruneBelow(oldest); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Close checkpoints any unsnapshotted suffix, flushes and closes the
+// WAL, and stops the background work. The database stays queryable in
+// memory, but further mutations fail (the log refuses appends).
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	close(s.stop)
+	s.wg.Wait()
+
+	s.ckptMu.Lock()
+	_, cerr := s.checkpoint()
+	s.ckptMu.Unlock()
+
+	werr := s.log.Close()
+	if cerr != nil {
+		return cerr
+	}
+	return werr
+}
