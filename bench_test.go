@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"testing"
 
+	"contractdb/internal/benchkit"
 	"contractdb/internal/bisim"
 	"contractdb/internal/buchi"
 	"contractdb/internal/core"
@@ -32,52 +33,16 @@ import (
 	"contractdb/internal/vocab"
 )
 
-// benchDB caches a populated database per size so repeated benchmark
-// invocations do not re-register contracts.
-var benchDBs = map[string]*core.DB{}
-
+// The benchmark workloads (database construction, query mixes, the
+// figure bench loops) live in internal/benchkit, shared with the
+// machine-readable cmd/benchjson runner; these wrappers keep the
+// existing bench names.
 func contractDB(b *testing.B, class datagen.Class, size int) *core.DB {
-	b.Helper()
-	key := fmt.Sprintf("%s/%d", class.Name, size)
-	if db, ok := benchDBs[key]; ok {
-		return db
-	}
-	voc := datagen.NewVocabulary()
-	// The same automaton-size regime the experiment harness uses (see
-	// EXPERIMENTS.md): oversized outliers are rejected and redrawn.
-	db := core.NewDB(voc, core.Options{MaxAutomatonStates: 300})
-	gen := datagen.New(voc, 1)
-	for db.Len() < size {
-		if _, err := db.Register("", gen.Specification(class.Properties)); err != nil {
-			continue
-		}
-	}
-	benchDBs[key] = db
-	return db
+	return benchkit.DB(b, class, size)
 }
 
-// benchQueries returns a fixed query mix (equal parts simple, medium,
-// complex) translated against the database vocabulary.
 func benchQueries(b *testing.B, voc *vocab.Vocabulary, perClass int) []*ltl.Expr {
-	b.Helper()
-	gen := datagen.New(voc, 77)
-	var out []*ltl.Expr
-	for _, c := range datagen.QueryClasses() {
-		n := 0
-		for n < perClass {
-			q := gen.Specification(c.Properties)
-			a, err := ltl2ba.Translate(voc, q)
-			if err != nil {
-				b.Fatal(err)
-			}
-			if a.IsEmpty() {
-				continue
-			}
-			out = append(out, q)
-			n++
-		}
-	}
-	return out
+	return benchkit.Queries(b, voc, perClass)
 }
 
 // BenchmarkTable2Datasets measures specification-to-automaton
@@ -105,38 +70,19 @@ func BenchmarkTable2Datasets(b *testing.B) {
 	}
 }
 
-func benchQueryMode(b *testing.B, size int, mode core.Mode) {
-	db := contractDB(b, datagen.SimpleContracts, size)
-	queries := benchQueries(b, db.Vocabulary(), 3)
-	// Figure 5 measures the evaluation itself; repeat iterations must
-	// not be served from the result cache (see BenchmarkRepeatedQuery
-	// for the cached path).
-	mode.NoCache = true
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		q := queries[i%len(queries)]
-		if _, err := db.QueryMode(q, mode); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
 // BenchmarkFig5Scan / BenchmarkFig5Optimized reproduce Figure 5's two
 // curves: per-query evaluation time vs database size, with the paper's
-// Algorithm 2 kernel.
+// Algorithm 2 kernel. Iterations are never served from the result
+// cache (see BenchmarkRepeatedQuery for the cached path).
 func BenchmarkFig5Scan(b *testing.B) {
 	for _, size := range []int{50, 100, 200, 400} {
-		b.Run(fmt.Sprintf("contracts=%d", size), func(b *testing.B) {
-			benchQueryMode(b, size, core.Mode{Algorithm: core.AlgorithmNestedDFS})
-		})
+		b.Run(fmt.Sprintf("contracts=%d", size), benchkit.Fig5Scan(size))
 	}
 }
 
 func BenchmarkFig5Optimized(b *testing.B) {
-	for _, size := range []int{50, 100, 200, 400} {
-		b.Run(fmt.Sprintf("contracts=%d", size), func(b *testing.B) {
-			benchQueryMode(b, size, core.Mode{Prefilter: true, Bisim: true, Algorithm: core.AlgorithmNestedDFS})
-		})
+	for _, size := range []int{50, 100, 200, 400, 500} {
+		b.Run(fmt.Sprintf("contracts=%d", size), benchkit.Fig5Optimized(size))
 	}
 }
 
@@ -177,48 +123,16 @@ func BenchmarkFig5Parallel(b *testing.B) {
 // BenchmarkFindAny measures the early-exit mode against collecting the
 // full match set on the same workload.
 func BenchmarkFindAny(b *testing.B) {
-	db := contractDB(b, datagen.SimpleContracts, 200)
-	queries := benchQueries(b, db.Vocabulary(), 3)
-	for _, cfg := range []struct {
-		name string
-		mode core.Mode
-	}{
-		{"find-all", core.Mode{Prefilter: true, Bisim: true, NoCache: true}},
-		{"find-any", core.Mode{Prefilter: true, Bisim: true, FindAny: true, NoCache: true}},
-	} {
-		b.Run(cfg.name, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				q := queries[i%len(queries)]
-				if _, err := db.QueryMode(q, cfg.mode); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
-	}
+	b.Run("find-all", benchkit.FindAny(false))
+	b.Run("find-any", benchkit.FindAny(true))
 }
 
 // BenchmarkFig6 reproduces Figure 6's grid: optimized evaluation per
 // contract class × query class (database size fixed).
 func BenchmarkFig6(b *testing.B) {
-	const dbSize = 100
 	for _, cc := range datagen.ContractClasses() {
-		db := contractDB(b, cc, dbSize)
 		for _, qc := range datagen.QueryClasses() {
-			b.Run(fmt.Sprintf("%s/%s", cc.Name, qc.Name), func(b *testing.B) {
-				gen := datagen.New(db.Vocabulary(), 99)
-				var queries []*ltl.Expr
-				for len(queries) < 5 {
-					q := gen.Specification(qc.Properties)
-					queries = append(queries, q)
-				}
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					q := queries[i%len(queries)]
-					if _, err := db.QueryMode(q, core.Mode{Prefilter: true, Bisim: true, Algorithm: core.AlgorithmNestedDFS, NoCache: true}); err != nil {
-						b.Fatal(err)
-					}
-				}
-			})
+			b.Run(fmt.Sprintf("%s/%s", cc.Name, qc.Name), benchkit.Fig6(cc, qc))
 		}
 	}
 }

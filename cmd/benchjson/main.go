@@ -1,0 +1,153 @@
+// Command benchjson runs the headline figure benchmarks — Figure 5's
+// optimized curve, Figure 6's class grid, and the FindAny ablation —
+// through testing.Benchmark and emits a machine-readable JSON report:
+// ns/op, bytes/op and allocs/op per bench. Committed reports
+// (BENCH_PR4.json and successors) form the repo's perf trajectory, and
+// CI replays the run against the committed baseline:
+//
+//	go run ./cmd/benchjson -out BENCH_PR4.json
+//	go run ./cmd/benchjson -baseline BENCH_PR4.json
+//
+// The -baseline mode exits non-zero when a Fig5Optimized bench's
+// allocs/op regresses past the baseline by more than -tolerance.
+// Allocation counts are deterministic across machines (unlike ns/op),
+// which is what makes them enforceable in CI.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"contractdb/internal/benchkit"
+	"contractdb/internal/datagen"
+)
+
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type report struct {
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	Results   []result `json:"results"`
+}
+
+func main() {
+	out := flag.String("out", "", "write the JSON report to this file (default stdout)")
+	baseline := flag.String("baseline", "", "committed report to compare against; exit 1 on allocs/op regression")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional allocs/op growth over -baseline")
+	filter := flag.String("bench", "", "only run benchmarks whose name contains this substring")
+	flag.Parse()
+
+	type bench struct {
+		name string
+		fn   func(*testing.B)
+	}
+	var benches []bench
+	for _, size := range []int{50, 100, 200, 400, 500} {
+		benches = append(benches, bench{fmt.Sprintf("Fig5Optimized/contracts=%d", size), benchkit.Fig5Optimized(size)})
+	}
+	for _, cc := range datagen.ContractClasses() {
+		for _, qc := range datagen.QueryClasses() {
+			benches = append(benches, bench{fmt.Sprintf("Fig6/%s/%s", cc.Name, qc.Name), benchkit.Fig6(cc, qc)})
+		}
+	}
+	benches = append(benches,
+		bench{"FindAny/find-all", benchkit.FindAny(false)},
+		bench{"FindAny/find-any", benchkit.FindAny(true)},
+	)
+
+	rep := report{GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
+	for _, bm := range benches {
+		if *filter != "" && !strings.Contains(bm.name, *filter) {
+			continue
+		}
+		r := testing.Benchmark(bm.fn)
+		if r.N == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %s failed to run\n", bm.name)
+			os.Exit(1)
+		}
+		res := result{
+			Name:        bm.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		rep.Results = append(rep.Results, res)
+		fmt.Fprintf(os.Stderr, "%-40s %10d ns/op %10d B/op %8d allocs/op\n",
+			bm.name, int64(res.NsPerOp), res.BytesPerOp, res.AllocsPerOp)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		os.Stdout.Write(data)
+	}
+
+	if *baseline != "" {
+		if err := checkBaseline(rep, *baseline, *tolerance); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "benchjson: allocs/op within baseline tolerance")
+	}
+}
+
+// checkBaseline enforces the allocation budget: every Fig5Optimized
+// bench present in both reports must not exceed the baseline's
+// allocs/op by more than the tolerance (plus a small absolute slack so
+// tiny counts don't flake).
+func checkBaseline(cur report, path string, tol float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	byName := make(map[string]result, len(base.Results))
+	for _, r := range base.Results {
+		byName[r.Name] = r
+	}
+	checked := 0
+	for _, r := range cur.Results {
+		if !strings.HasPrefix(r.Name, "Fig5Optimized") {
+			continue
+		}
+		b, ok := byName[r.Name]
+		if !ok {
+			continue
+		}
+		checked++
+		limit := float64(b.AllocsPerOp)*(1+tol) + 16
+		if float64(r.AllocsPerOp) > limit {
+			return fmt.Errorf("%s: %d allocs/op exceeds baseline %d (limit %.0f)",
+				r.Name, r.AllocsPerOp, b.AllocsPerOp, limit)
+		}
+	}
+	if checked == 0 {
+		return fmt.Errorf("no Fig5Optimized benches matched %s; baseline check is vacuous", path)
+	}
+	return nil
+}

@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux, served only under -pprof-addr
 	"os"
 	"os/signal"
 	"strings"
@@ -64,6 +65,7 @@ func main() {
 	queryCacheSize := flag.Int("query-cache-size", 0, "compiled-query (automaton) cache capacity (0 = default, negative = disabled)")
 	resultCacheSize := flag.Int("result-cache-size", 0, "query result cache capacity (0 = default, negative = disabled)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 	flag.Parse()
 
 	if (*dataDir == "") == (*dbPath == "") {
@@ -113,6 +115,19 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *pprofAddr != "" {
+		// The profiling server is separate from the API listener so
+		// pprof is never exposed on the public address by accident. It
+		// uses http.DefaultServeMux, which importing net/http/pprof
+		// populates.
+		go func() {
+			log.Printf("ctdbd: pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("ctdbd: pprof server: %v", err)
+			}
+		}()
+	}
 
 	errC := make(chan error, 1)
 	go func() { errC <- httpSrv.ListenAndServe() }()

@@ -26,6 +26,8 @@ import (
 	"log"
 	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"contractdb/internal/buchi"
@@ -43,6 +45,8 @@ var (
 	seedFlag   = flag.Int64("seed", 1, "base seed for dataset generation")
 	kernelFlag = flag.String("kernel", "nested", "permission kernel: nested (paper's Algorithm 2) or scc (linear)")
 	capFlag    = flag.Int("statecap", 300, "reject generated contracts whose automaton exceeds this many states (0 = unlimited)")
+	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 )
 
 // dbOptions configures experiment databases: automata beyond the state
@@ -66,6 +70,32 @@ func kernel() core.Algorithm {
 
 func main() {
 	flag.Parse()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatalf("memprofile: %v", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatalf("memprofile: %v", err)
+			}
+		}()
+	}
 	experiments := map[string]func(){
 		"table1":     table1,
 		"table3":     table3,

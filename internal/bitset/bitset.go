@@ -136,6 +136,44 @@ func (s Set) Equal(t Set) bool {
 	return true
 }
 
+// ForEach calls f for every member in increasing order, stopping early
+// when f returns false. Unlike Members it allocates nothing, so it is
+// the iteration to use on hot paths (the per-query candidate walk).
+func (s Set) ForEach(f func(int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &= w - 1
+			if !f(wi*64 + b) {
+				return
+			}
+		}
+	}
+}
+
+// NextSet returns the smallest member ≥ i, or -1 when no such member
+// exists. It gives callers an allocation-free cursor-style iteration
+// (for i := s.NextSet(0); i >= 0; i = s.NextSet(i + 1) { ... }).
+func (s Set) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= s.n {
+		return -1
+	}
+	wi := i / 64
+	w := s.words[wi] >> uint(i%64)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if s.words[wi] != 0 {
+			return wi*64 + bits.TrailingZeros64(s.words[wi])
+		}
+	}
+	return -1
+}
+
 // Members returns the elements in increasing order.
 func (s Set) Members() []int {
 	out := make([]int, 0, s.Count())

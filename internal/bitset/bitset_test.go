@@ -155,3 +155,55 @@ func TestCapacityMismatchPanics(t *testing.T) {
 	}()
 	bitset.New(10).UnionWith(bitset.New(20))
 }
+
+func TestForEachMatchesMembers(t *testing.T) {
+	s := bitset.New(200)
+	for _, i := range []int{0, 1, 63, 64, 130, 199} {
+		s.Add(i)
+	}
+	var got []int
+	s.ForEach(func(i int) bool {
+		got = append(got, i)
+		return true
+	})
+	want := s.Members()
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v, Members = %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach visited %v, Members = %v", got, want)
+		}
+	}
+	n := 0
+	s.ForEach(func(int) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("early stop visited %d members, want 3", n)
+	}
+}
+
+func TestNextSetCursor(t *testing.T) {
+	s := bitset.New(200)
+	for _, i := range []int{5, 64, 65, 199} {
+		s.Add(i)
+	}
+	var got []int
+	for i := s.NextSet(0); i >= 0; i = s.NextSet(i + 1) {
+		got = append(got, i)
+	}
+	want := s.Members()
+	if len(got) != len(want) {
+		t.Fatalf("NextSet walk = %v, Members = %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("NextSet walk = %v, Members = %v", got, want)
+		}
+	}
+	if s.NextSet(-5) != 5 || s.NextSet(200) != -1 || bitset.New(0).NextSet(0) != -1 {
+		t.Fatal("NextSet boundary handling wrong")
+	}
+}

@@ -3,6 +3,7 @@ package buchi
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"contractdb/internal/vocab"
 )
@@ -32,6 +33,12 @@ type BA struct {
 	Final  []bool // indexed by StateID
 	Out    [][]Edge
 	Events vocab.Set
+
+	// Lazily built flat execution form; see Compiled. Valid only once
+	// construction is finished — automata handed to the kernels are
+	// immutable.
+	compileOnce sync.Once
+	compiled    *Compiled
 }
 
 // New returns an automaton with n states, initial state 0, and no
@@ -125,7 +132,7 @@ func (a *BA) MergeAdjacentLabels() {
 			kept := out[:0]
 			for _, e := range out {
 				placed := false
-				for _, ev := range e.Label.Vars().IDs() {
+				e.Label.Vars().ForEach(func(ev vocab.EventID) bool {
 					reduced := e.Label
 					var opposite Label
 					if e.Label.Pos.Has(ev) {
@@ -144,9 +151,10 @@ func (a *BA) MergeAdjacentLabels() {
 						delete(index, key{e.To, opposite.Pos, opposite.Neg})
 						merged = true
 						placed = true
-						break
+						return false
 					}
-				}
+					return true
+				})
 				if !placed {
 					index[key{e.To, e.Label.Pos, e.Label.Neg}] = len(kept)
 					kept = append(kept, e)

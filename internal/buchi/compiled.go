@@ -1,0 +1,135 @@
+package buchi
+
+import (
+	"sort"
+
+	"contractdb/internal/vocab"
+)
+
+// Compiled is the flat, execution-oriented form of a BA: a CSR
+// (compressed sparse row) adjacency with interned labels, built once
+// per automaton and consumed by the permission kernels. Relative to
+// the pointer-rich BA it
+//
+//   - stores all edges in three parallel flat arrays (offset / target
+//     / label id), so the product search walks contiguous memory,
+//   - interns labels into a small deduplicated table, so per-label
+//     work (the compatibility bitmasks of the permission package) is
+//     done once per distinct label instead of once per edge, and
+//   - re-applies Normalize's subsumed-edge elimination during the
+//     flattening, so automata that skipped normalization (or grew
+//     redundant edges through projection) never pay for dead edges in
+//     the kernel inner loop.
+//
+// The compiled form is derived state: it is never serialized (the BA
+// is), and it is rebuilt from the BA on demand after a snapshot or WAL
+// replay restores the automaton. State identity is preserved — state s
+// of the BA is state s of the Compiled — so registration-time
+// precomputation indexed by StateID (seeds, Final) applies unchanged.
+type Compiled struct {
+	N      int
+	Init   StateID
+	Final  []bool
+	Events vocab.Set
+
+	// EdgeOff has length N+1; state s's edges occupy the index range
+	// [EdgeOff[s], EdgeOff[s+1]) of EdgeTo and EdgeLabel.
+	EdgeOff []int32
+	// EdgeTo is the target state per edge.
+	EdgeTo []int32
+	// EdgeLabel is the index into Labels per edge.
+	EdgeLabel []int32
+	// Labels is the deduplicated label table. len(Labels) is typically
+	// far smaller than len(EdgeTo): clause-product automata reuse the
+	// same few conjunctions on many edges.
+	Labels []Label
+	// MaxDeg is the maximum out-degree, the sizing bound for per-state
+	// bitmask rows.
+	MaxDeg int
+}
+
+// NumEdges returns the total number of (deduplicated) transitions.
+func (c *Compiled) NumEdges() int { return len(c.EdgeTo) }
+
+// Deg returns state s's out-degree.
+func (c *Compiled) Deg(s StateID) int { return int(c.EdgeOff[s+1] - c.EdgeOff[s]) }
+
+// Compile flattens the automaton into its CSR form. The source BA is
+// not modified. Edges are sorted, exact duplicates dropped, and
+// subsumed edges eliminated with the same language-preserving rule
+// Normalize applies (a weaker label to the same target makes the
+// stronger one redundant, for acceptance and for simultaneous-lasso
+// existence alike).
+func Compile(a *BA) *Compiled {
+	n := a.NumStates()
+	c := &Compiled{
+		N:       n,
+		Init:    a.Init,
+		Final:   append([]bool(nil), a.Final...),
+		Events:  a.Events,
+		EdgeOff: make([]int32, n+1),
+	}
+	labelID := make(map[Label]int32)
+	var buf []Edge
+	for s, out := range a.Out {
+		c.EdgeOff[s] = int32(len(c.EdgeTo))
+		if len(out) == 0 {
+			continue
+		}
+		buf = append(buf[:0], out...)
+		sort.Slice(buf, func(i, j int) bool {
+			if buf[i].To != buf[j].To {
+				return buf[i].To < buf[j].To
+			}
+			ci, cj := buf[i].Label.LiteralCount(), buf[j].Label.LiteralCount()
+			if ci != cj {
+				return ci < cj // weakest labels first: they subsume
+			}
+			if buf[i].Label.Pos != buf[j].Label.Pos {
+				return buf[i].Label.Pos < buf[j].Label.Pos
+			}
+			return buf[i].Label.Neg < buf[j].Label.Neg
+		})
+		kept := buf[:0]
+		groupStart := 0 // first kept index of the current To-group
+		for i, e := range buf {
+			if i > 0 && e.To != buf[i-1].To {
+				groupStart = len(kept)
+			}
+			subsumed := false
+			for _, k := range kept[groupStart:] {
+				if k.Label.ContainedIn(e.Label) {
+					subsumed = true
+					break
+				}
+			}
+			if subsumed {
+				continue
+			}
+			kept = append(kept, e)
+			id, ok := labelID[e.Label]
+			if !ok {
+				id = int32(len(c.Labels))
+				c.Labels = append(c.Labels, e.Label)
+				labelID[e.Label] = id
+			}
+			c.EdgeTo = append(c.EdgeTo, int32(e.To))
+			c.EdgeLabel = append(c.EdgeLabel, id)
+		}
+		if d := len(kept); d > c.MaxDeg {
+			c.MaxDeg = d
+		}
+	}
+	c.EdgeOff[n] = int32(len(c.EdgeTo))
+	return c
+}
+
+// Compiled returns the automaton's compiled form, building it on first
+// use (concurrency-safe; later calls return the cached value). It must
+// only be called once construction of the automaton is complete:
+// mutating a BA after its first Compiled call leaves the compiled form
+// stale, which the kernels treat as a programming error.
+func (a *BA) Compiled() *Compiled {
+	a.compileOnce.Do(func() { a.compiled = Compile(a) })
+	return a.compiled
+}

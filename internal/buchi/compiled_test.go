@@ -1,0 +1,85 @@
+package buchi
+
+import (
+	"sync"
+	"testing"
+
+	"contractdb/internal/vocab"
+)
+
+func TestCompileCSRInvariants(t *testing.T) {
+	voc := vocab.MustFromNames("a", "b", "c")
+	la, _ := voc.SetOf("a")
+	lb, _ := voc.SetOf("b")
+
+	a := New(3)
+	a.Events, _ = voc.SetOf("a", "b", "c")
+	a.Final[1] = true
+	a.AddEdge(0, Label{Pos: la}, 1)
+	a.AddEdge(0, Label{Pos: la}, 1)          // exact duplicate: dropped
+	a.AddEdge(0, Label{Pos: la, Neg: lb}, 1) // subsumed by {a}: dropped
+	a.AddEdge(0, Label{Pos: lb}, 2)
+	a.AddEdge(1, Label{Pos: la}, 0) // label shared with state 0: interned once
+	a.AddEdge(2, True, 2)
+
+	c := Compile(a)
+	if c.N != 3 || c.Init != a.Init || !c.Final[1] || c.Final[0] || c.Events != a.Events {
+		t.Fatalf("state metadata not preserved: %+v", c)
+	}
+	if len(c.EdgeOff) != c.N+1 || c.EdgeOff[0] != 0 || int(c.EdgeOff[c.N]) != c.NumEdges() {
+		t.Fatalf("EdgeOff malformed: %v", c.EdgeOff)
+	}
+	if got := c.NumEdges(); got != 4 {
+		t.Fatalf("NumEdges = %d, want 4 (duplicate and subsumed edges dropped)", got)
+	}
+	if got := c.Deg(0); got != 2 {
+		t.Fatalf("Deg(0) = %d, want 2", got)
+	}
+	if c.MaxDeg != 2 {
+		t.Fatalf("MaxDeg = %d, want 2", c.MaxDeg)
+	}
+	// {a} appears on edges of states 0 and 1 but must be interned once.
+	if len(c.Labels) != 3 {
+		t.Fatalf("Labels = %v, want 3 distinct ({a}, {b}, true)", c.Labels)
+	}
+	// Compile must not mutate the source automaton.
+	if len(a.Out[0]) != 4 {
+		t.Fatalf("Compile mutated the source automaton: %v", a.Out[0])
+	}
+	// Every edge must be within range and consistent with the BA.
+	for s := 0; s < c.N; s++ {
+		for e := c.EdgeOff[s]; e < c.EdgeOff[s+1]; e++ {
+			to, l := c.EdgeTo[e], c.EdgeLabel[e]
+			if to < 0 || int(to) >= c.N || l < 0 || int(l) >= len(c.Labels) {
+				t.Fatalf("edge %d of state %d out of range: to=%d label=%d", e, s, to, l)
+			}
+		}
+	}
+}
+
+func TestCompiledAccessorCachesAndIsConcurrencySafe(t *testing.T) {
+	voc := vocab.MustFromNames("a")
+	la, _ := voc.SetOf("a")
+	a := New(2)
+	a.Events = la
+	a.Final[0] = true
+	a.AddEdge(0, Label{Pos: la}, 1)
+	a.AddEdge(1, True, 0)
+
+	const n = 16
+	got := make([]*Compiled, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = a.Compiled()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if got[i] != got[0] {
+			t.Fatal("Compiled() returned distinct values across goroutines")
+		}
+	}
+}

@@ -105,13 +105,15 @@ func (l Label) Format(v *vocab.Vocabulary) string {
 	if l.IsTrue() {
 		return "true"
 	}
-	var lits []string
-	for _, id := range l.Pos.IDs() {
+	lits := make([]string, 0, l.LiteralCount())
+	l.Pos.ForEach(func(id vocab.EventID) bool {
 		lits = append(lits, v.Name(id))
-	}
-	for _, id := range l.Neg.IDs() {
+		return true
+	})
+	l.Neg.ForEach(func(id vocab.EventID) bool {
 		lits = append(lits, "!"+v.Name(id))
-	}
+		return true
+	})
 	sort.Strings(lits)
 	return strings.Join(lits, " & ")
 }

@@ -146,9 +146,10 @@ func (db *DB) evalQuery(ctx context.Context, spec *ltl.Expr, mode Mode, obligati
 		stats.Filter = time.Since(t)
 		db.metrics.Prefilter.Observe(stats.Filter)
 		candidates = make([]*Contract, 0, set.Count())
-		for _, id := range set.Members() {
+		set.ForEach(func(id int) bool {
 			candidates = append(candidates, db.contracts[id])
-		}
+			return true
+		})
 	}
 	stats.Candidates = len(candidates)
 	db.metrics.CandidatesPruned.Add(int64(stats.Total - len(candidates)))
@@ -175,6 +176,8 @@ func (db *DB) finishQuery(ctx context.Context, qa *buchi.BA, candidates []*Contr
 	db.metrics.ProjectionPick.Observe(stats.ProjPick)
 	db.metrics.CandidatesScanned.Add(int64(stats.Checked))
 	db.metrics.KernelSteps.Add(int64(stats.Permission.Steps))
+	db.metrics.KernelMaskBuilds.Add(int64(stats.Permission.MaskBuilds))
+	db.metrics.KernelStepsSaved.Add(int64(stats.Permission.StepsSaved))
 	if err != nil {
 		db.metrics.Errored.Inc()
 		switch {

@@ -164,6 +164,8 @@ type Query struct {
 	ProjCacheHits     Counter // projection-checker cache hits
 	ProjCacheMisses   Counter // projection checkers built on demand
 	KernelSteps       Counter // product pairs/cycle nodes expanded
+	KernelMaskBuilds  Counter // compatibility mask matrices built (compiled kernel)
+	KernelStepsSaved  Counter // label tests avoided by the masks vs. the naive loop
 	Permitted         Counter // matches returned across all queries
 }
 
@@ -193,6 +195,8 @@ type QuerySnapshot struct {
 	ProjCacheHits     int64 `json:"proj_cache_hits"`
 	ProjCacheMisses   int64 `json:"proj_cache_misses"`
 	KernelSteps       int64 `json:"kernel_steps"`
+	KernelMaskBuilds  int64 `json:"kernel_mask_builds"`
+	KernelStepsSaved  int64 `json:"kernel_steps_saved"`
 	Permitted         int64 `json:"permitted"`
 }
 
@@ -289,6 +293,8 @@ func (q *Query) Snapshot() QuerySnapshot {
 		ProjCacheHits:     q.ProjCacheHits.Value(),
 		ProjCacheMisses:   q.ProjCacheMisses.Value(),
 		KernelSteps:       q.KernelSteps.Value(),
+		KernelMaskBuilds:  q.KernelMaskBuilds.Value(),
+		KernelStepsSaved:  q.KernelStepsSaved.Value(),
 		Permitted:         q.Permitted.Value(),
 	}
 }

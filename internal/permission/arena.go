@@ -1,0 +1,132 @@
+package permission
+
+import "sync"
+
+// scratch is the reusable per-search arena. Every piece of working
+// memory a Permits call needs — visit marks, Tarjan bookkeeping, the
+// compatibility mask matrix, the explicit DFS stacks — lives here, so
+// a steady-state candidate check allocates nothing: the arrays grow to
+// the largest product seen and are then reused, and the generation
+// counters make "reset between searches" an O(1) bump instead of an
+// O(|product|) clear.
+//
+// Arenas are pooled; PermitsCtx takes one from scratchPool and returns
+// it when done, so concurrent checkers (the core worker pool) each get
+// their own without any per-call allocation once the pool is warm.
+type scratch struct {
+	// srch is the search state itself. Embedding it here keeps the
+	// per-call search struct off the heap: PermitsCtx reuses this slot
+	// instead of allocating one.
+	srch search
+
+	// gen stamps visited/onStack entries; an entry is set iff it holds
+	// the current generation. Bumped once per search.
+	gen     uint32
+	visited []uint32 // product pair → generation expanded (outer DFS / Tarjan index-assigned)
+	onStack []uint32 // product pair → generation while on the Tarjan stack
+	index   []int32  // Tarjan discovery index (valid only when visited == gen)
+	low     []int32  // Tarjan low-link (valid only when visited == gen)
+
+	// cycleGen stamps cycleSeen; bumped once per nested cycle search,
+	// so all knots of one outer DFS share the array without clears.
+	cycleGen  uint32
+	cycleSeen []uint32 // (pair<<1|flag) → generation visited
+
+	// Compiled-kernel mask state (see buildMasks / fillLabel).
+	qlOK     []bool   // query label → cites only contract-vocabulary events
+	masks    []uint64 // (contract label × query state) → query-edge bitmask rows
+	labelGen []uint32 // contract label → generation its mask rows were filled
+
+	// Memoized product adjacency (compiled kernels; see (*search).succ).
+	// A pair's successor list is derived from the masks on its first
+	// expansion and reused on every revisit — the nested cycle searches
+	// re-expand pairs many times per check.
+	built  []uint32 // product pair → generation its successor list was built
+	adjOff []int32  // product pair → start of its list in adj
+	adjEnd []int32  // product pair → end of its list in adj
+	adj    []int32  // concatenated lists: (target pair)<<1 | target contract-final bit
+
+	// Interpreted-kernel edge vocabulary check, flattened.
+	edgeOK []bool  // qOff[qs]+qi → query edge qi of qs cites only contract events
+	qOff   []int32 // query state → offset into edgeOK
+
+	// Explicit stacks. Written back after every search so grown
+	// capacity is retained across reuses.
+	stack    []int32  // outer-DFS worklist
+	cstack   []int32  // nested cycle-search worklist
+	sccStack []int32  // Tarjan component stack
+	frames   []cframe // compiled Tarjan cursor frames
+	iframes  []iframe // interpreted Tarjan cursor frames
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// nextGen advances the search generation. On the (once per 2^32
+// searches) wraparound it clears the stamped arrays so stale marks
+// from a previous epoch can never alias the new generation; gen is
+// therefore always ≥ 1 and a zeroed (freshly grown) entry is never
+// "set".
+func (sc *scratch) nextGen() uint32 {
+	sc.gen++
+	if sc.gen == 0 {
+		for i := range sc.visited {
+			sc.visited[i] = 0
+		}
+		for i := range sc.onStack {
+			sc.onStack[i] = 0
+		}
+		for i := range sc.built {
+			sc.built[i] = 0
+		}
+		for i := range sc.labelGen {
+			sc.labelGen[i] = 0
+		}
+		sc.gen = 1
+	}
+	return sc.gen
+}
+
+// nextCycleGen is nextGen for the nested-cycle-search array.
+func (sc *scratch) nextCycleGen() uint32 {
+	sc.cycleGen++
+	if sc.cycleGen == 0 {
+		for i := range sc.cycleSeen {
+			sc.cycleSeen[i] = 0
+		}
+		sc.cycleGen = 1
+	}
+	return sc.cycleGen
+}
+
+// The ensure helpers grow a scratch array to at least n elements,
+// reusing the existing backing store when it is already big enough.
+// Growth allocates zeroed storage (never a reslice over stale data),
+// which the generation discipline relies on.
+
+func ensureU32(buf []uint32, n int) []uint32 {
+	if len(buf) >= n {
+		return buf
+	}
+	return make([]uint32, n)
+}
+
+func ensureI32(buf []int32, n int) []int32 {
+	if len(buf) >= n {
+		return buf
+	}
+	return make([]int32, n)
+}
+
+func ensureU64(buf []uint64, n int) []uint64 {
+	if len(buf) >= n {
+		return buf
+	}
+	return make([]uint64, n)
+}
+
+func ensureBool(buf []bool, n int) []bool {
+	if len(buf) >= n {
+		return buf
+	}
+	return make([]bool, n)
+}

@@ -1,0 +1,355 @@
+package permission
+
+import (
+	"math/bits"
+
+	"contractdb/internal/buchi"
+)
+
+// This file holds the compiled product-search kernel: the default
+// execution path of PermitsCtx. It runs on the buchi.Compiled CSR
+// forms of both automata and replaces the interpreted kernels'
+// doubly-nested per-pair label work with precomputed edge-compatibility
+// bitmasks.
+//
+// Before the search, buildMasks sizes — once per (contract, query)
+// pair — a matrix of uint64 rows indexed by (contract label, query
+// state): bit j of a row is set iff query state qs's j'th out-edge is
+// compatible with the contract label (it cites only contract-vocabulary
+// events and its literals do not conflict). Rows fill lazily per
+// contract label as the search first crosses it, so because both
+// automata intern labels the quadratic Conflicts work collapses to at
+// most |contract labels| × |query labels| tests, and a pair's first
+// expansion becomes "load a word, iterate its set bits" via
+// bits.TrailingZeros64 — no Conflicts call ever runs inside a search
+// proper.
+//
+// On top of the masks sits a per-search adjacency memo (succ): the
+// successor list a pair's first expansion derives is kept in the
+// arena, so every re-expansion — the nested cycle searches revisit
+// pairs once per knot — is a straight-line walk over packed int32
+// entries that already carry the contract-final flag transition.
+//
+// All three searches are iterative with explicit stacks (no recursion,
+// no stack-overflow risk on large products) and draw every piece of
+// scratch from the pooled arena, so steady-state candidate checks
+// allocate nothing.
+
+// cframe is a compiled-Tarjan traversal frame. ci/end delimit the
+// unconsumed remainder of the pair's memoized successor list (absolute
+// indices into the arena's adj array, so they survive adj growing
+// under a child's expansion).
+type cframe struct {
+	pair int32
+	ci   int32
+	end  int32
+}
+
+// buildMasks prepares the compatibility mask matrix for the current
+// (contract, query) pair. Layout: row (cl, qs) occupies words
+// [(cl*nq+qs)*W, (cl*nq+qs+1)*W) of sc.masks, W = ⌈maxQueryDeg/64⌉.
+// Rows are filled lazily per contract label (fillLabel) on first use,
+// so a check pays for the labels its search actually crosses, not for
+// |Σc| × |Σq|; stale words from earlier checks are dead until their
+// label's labelGen stamp matches the current generation.
+func (s *search) buildMasks() {
+	sc, cc, qc := s.sc, s.cc, s.qc
+	nlc, nlq := len(cc.Labels), len(qc.Labels)
+	s.W = (qc.MaxDeg + 63) / 64
+
+	// Condition (i) of compatibility depends only on the query label.
+	sc.qlOK = ensureBool(sc.qlOK, nlq)
+	for j, ql := range qc.Labels {
+		sc.qlOK[j] = ql.Vars().SubsetOf(cc.Events)
+	}
+	sc.masks = ensureU64(sc.masks, nlc*s.nq*s.W)
+	sc.labelGen = ensureU32(sc.labelGen, nlc)
+	s.masks = sc.masks
+	s.stats.MaskBuilds++
+}
+
+// fillLabel populates contract label cl's mask rows for every query
+// state — the only place Conflicts runs on the compiled path.
+func (s *search) fillLabel(cl int) {
+	sc, qc := s.sc, s.qc
+	l := s.cc.Labels[cl]
+	base := cl * s.nq * s.W
+	m := s.masks[base : base+s.nq*s.W]
+	for i := range m {
+		m[i] = 0
+	}
+	qlOK := sc.qlOK
+	for qs := 0; qs < s.nq; qs++ {
+		off := int(qc.EdgeOff[qs])
+		deg := int(qc.EdgeOff[qs+1]) - off
+		for j := 0; j < deg; j++ {
+			ql := int(qc.EdgeLabel[off+j])
+			if qlOK[ql] && !l.Conflicts(qc.Labels[ql]) {
+				m[qs*s.W+(j>>6)] |= 1 << uint(j&63)
+			}
+		}
+	}
+	sc.labelGen[cl] = s.gen
+}
+
+// maskRow returns the compatibility row for (contract label cl, query
+// state qs).
+func (s *search) maskRow(cl, qs int) []uint64 {
+	off := (cl*s.nq + qs) * s.W
+	return s.masks[off : off+s.W]
+}
+
+// succ returns pair p's successors in the implicit product, memoized
+// in the arena. The first expansion derives the list from the
+// compatibility masks; every revisit — the nested cycle searches
+// re-expand each pair up to twice per knot — reuses the flat slice,
+// which turns the hot inner loops into a linear walk over int32s.
+// Entries encode (target pair)<<1 | (contract-final bit of the
+// target), so cycle searches read the flag transition without
+// touching the automata. The returned slice stays valid across later
+// succ calls: adj is append-only within a search and written entries
+// are never moved logically, only copied on growth.
+func (s *search) succ(p int32) []int32 {
+	sc := s.sc
+	if sc.built[p] == s.gen {
+		return sc.adj[sc.adjOff[p]:sc.adjEnd[p]]
+	}
+	cc, qc, nq := s.cc, s.qc, s.nq
+	cs := int(p) / nq
+	qs := int(p) % nq
+	adj := sc.adj
+	start := int32(len(adj))
+	qe := int(qc.EdgeOff[qs])
+	for ci := cc.EdgeOff[cs]; ci < cc.EdgeOff[cs+1]; ci++ {
+		ct := int(cc.EdgeTo[ci])
+		e := int32(ct*nq) << 1
+		if cc.Final[ct] {
+			e |= 1
+		}
+		cl := int(cc.EdgeLabel[ci])
+		if sc.labelGen[cl] != s.gen {
+			s.fillLabel(cl)
+		}
+		row := s.maskRow(cl, qs)
+		for wi, w := range row {
+			for w != 0 {
+				b := bits.TrailingZeros64(w)
+				w &= w - 1
+				adj = append(adj, e+int32(qc.EdgeTo[qe+wi*64+b])<<1)
+			}
+		}
+	}
+	sc.adj = adj
+	sc.adjOff[p] = start
+	sc.adjEnd[p] = int32(len(adj))
+	sc.built[p] = s.gen
+	return adj[start:]
+}
+
+// compiledNested is Algorithm 2's outer DFS on the compiled forms: an
+// explicit-stack enumeration of reachable product pairs, starting a
+// nested cycle search at every viable knot.
+func (s *search) compiledNested() bool {
+	sc, cc, qc := s.sc, s.cc, s.qc
+	nq := s.nq
+	gen := s.gen
+	visited := sc.visited
+	stack := append(sc.stack[:0], int32(int(cc.Init)*nq+int(qc.Init)))
+	found := false
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if visited[v] == gen {
+			continue
+		}
+		if s.tick() {
+			break
+		}
+		visited[v] = gen
+		s.stats.PairsVisited++
+		cs := int(v) / nq
+		qs := int(v) % nq
+		if qc.Final[qs] && (!s.checker.useSeeds || s.checker.seeds[cs]) {
+			s.stats.CycleSearches++
+			if s.compiledCycle(v) {
+				found = true
+				break
+			}
+			if s.stop != nil {
+				break
+			}
+		}
+		list := s.succ(v)
+		s.stats.StepsSaved += s.deg(cs, qs) - len(list)
+		for _, t := range list {
+			if tp := t >> 1; visited[tp] != gen {
+				stack = append(stack, tp)
+			}
+		}
+	}
+	sc.stack = stack[:0]
+	return found
+}
+
+// compiledCycle is the flag-doubled nested cycle search on the
+// compiled forms: does a product cycle run from the knot back to
+// itself through a contract-final pair? Nodes are encoded as
+// pair<<1|flag, matching the cycleSeen layout.
+func (s *search) compiledCycle(knot int32) bool {
+	sc, cc := s.sc, s.cc
+	nq := s.nq
+	cg := sc.nextCycleGen()
+	seen := sc.cycleSeen
+	start := knot << 1
+	if cc.Final[int(knot)/nq] {
+		start |= 1
+	}
+	cstack := append(sc.cstack[:0], start)
+	found := false
+loop:
+	for len(cstack) > 0 {
+		nd := cstack[len(cstack)-1]
+		cstack = cstack[:len(cstack)-1]
+		if seen[nd] == cg {
+			continue
+		}
+		if s.tick() {
+			break
+		}
+		seen[nd] = cg
+		s.stats.CycleVisited++
+		flag := nd & 1
+		p := nd >> 1
+		list := s.succ(p)
+		s.stats.StepsSaved += s.deg(int(p)/nq, int(p)%nq) - len(list)
+		for _, t := range list {
+			tp := t >> 1
+			nflag := flag | t&1
+			if tp == knot {
+				// Closed the cycle: accept if a contract-final pair
+				// occurred on it (the knot itself counts via the
+				// start flag, the closing target via its own bit).
+				if nflag != 0 {
+					found = true
+					break loop
+				}
+				continue
+			}
+			key := tp<<1 | nflag
+			if seen[key] != cg {
+				cstack = append(cstack, key)
+			}
+		}
+	}
+	sc.cstack = cstack[:0]
+	return found
+}
+
+// compiledSCC decides simultaneous-lasso existence with one Tarjan
+// pass over the implicit product of the compiled forms; see sccSearch
+// for the underlying argument. Each frame walks its pair's memoized
+// successor list by absolute adj index, so preemption by a child costs
+// nothing beyond the frame push.
+func (s *search) compiledSCC() bool {
+	sc, cc, qc := s.sc, s.cc, s.qc
+	nq := s.nq
+	gen := s.gen
+	visited, onStack := sc.visited, sc.onStack
+	index, low := sc.index, sc.low
+	stack := sc.sccStack[:0]
+	frames := sc.frames[:0]
+	next := int32(0)
+	found := false
+	root := int32(int(cc.Init)*nq + int(qc.Init))
+	frames = append(frames, cframe{pair: root})
+	for len(frames) > 0 {
+		f := &frames[len(frames)-1]
+		v := f.pair
+		if visited[v] != gen {
+			if s.tick() {
+				break
+			}
+			visited[v] = gen
+			index[v] = next
+			low[v] = next
+			next++
+			stack = append(stack, v)
+			onStack[v] = gen
+			s.stats.PairsVisited++
+			list := s.succ(v)
+			s.stats.StepsSaved += s.deg(int(v)/nq, int(v)%nq) - len(list)
+			f.ci, f.end = sc.adjOff[v], sc.adjEnd[v]
+		}
+		advanced := false
+		for f.ci < f.end {
+			w := sc.adj[f.ci] >> 1
+			f.ci++
+			if visited[w] != gen {
+				frames = append(frames, cframe{pair: w})
+				advanced = true
+				break
+			}
+			if onStack[w] == gen && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if advanced {
+			continue
+		}
+		if low[v] == index[v] {
+			// Pop the component, testing the three conditions in place
+			// (no members copy).
+			queryFinal, contractFinal := false, false
+			cut := len(stack)
+			for {
+				cut--
+				m := stack[cut]
+				onStack[m] = 0
+				if cc.Final[int(m)/nq] {
+					contractFinal = true
+				}
+				if qc.Final[int(m)%nq] {
+					queryFinal = true
+				}
+				if m == v {
+					break
+				}
+			}
+			multi := len(stack)-cut > 1
+			stack = stack[:cut]
+			if queryFinal && contractFinal && (multi || s.compiledSelfLoop(v)) {
+				found = true
+				break
+			}
+		}
+		frames = frames[:len(frames)-1]
+		if len(frames) > 0 {
+			if p := frames[len(frames)-1].pair; low[v] < low[p] {
+				low[p] = low[v]
+			}
+		}
+	}
+	sc.sccStack, sc.frames = stack[:0], frames[:0]
+	return found
+}
+
+// compiledSelfLoop reports whether singleton component {v} has a
+// product self-edge, the one case where strong connectivity alone does
+// not imply a cycle.
+func (s *search) compiledSelfLoop(v int32) bool {
+	for _, t := range s.succ(v) {
+		if t>>1 == v {
+			return true
+		}
+	}
+	return false
+}
+
+// deg returns the pair's naive expansion cost — contract out-degree ×
+// query out-degree — the number of label tests the interpreted kernels
+// would run at this pair. StepsSaved adds it on expansion and
+// subtracts one per compatible edge pair actually taken, so the
+// counter reports exactly the label tests the masks avoided.
+func (s *search) deg(cs, qs int) int {
+	return s.cc.Deg(buchi.StateID(cs)) * s.qc.Deg(buchi.StateID(qs))
+}

@@ -3,6 +3,8 @@ package permission_test
 import (
 	"context"
 	"errors"
+	"fmt"
+	"sync"
 	"testing"
 
 	"contractdb/internal/buchi"
@@ -39,29 +41,34 @@ func diffWorkload(t *testing.T, seed int64, nContracts, nQueries int) ([]*buchi.
 	return contracts, queries
 }
 
-// TestKernelDifferential cross-validates every kernel configuration on
-// seeded random workloads: the SCC pass, the paper's Algorithm 2 with
-// seeds, Algorithm 2 without seeds, and the budget-instrumented
-// PermitsCtx path must all return the same verdict for every
-// (contract, query) pair.
+// TestKernelDifferential is a three-way differential: on seeded random
+// workloads the independent oracle (product intersection + emptiness),
+// the interpreted kernels (SCC, Algorithm 2 with and without seeds)
+// and the compiled kernels (SCC, Algorithm 2) must all return the same
+// verdict for every (contract, query) pair, as must the
+// budget-instrumented PermitsCtx path.
 func TestKernelDifferential(t *testing.T) {
 	for _, seed := range []int64{1, 42, 1234} {
 		contracts, queries := diffWorkload(t, seed, 10, 8)
 		for ci, ca := range contracts {
-			withSeeds := permission.NewChecker(ca)
-			noSeeds := permission.NewChecker(ca, permission.WithoutSeeds())
+			compiled := permission.NewChecker(ca)
+			interp := permission.NewChecker(ca, permission.WithInterpreted())
+			noSeeds := permission.NewChecker(ca, permission.WithInterpreted(), permission.WithoutSeeds())
 			for qi, qa := range queries {
-				scc, _ := withSeeds.PermitsAlgo(qa, permission.SCC)
-				nested, _ := withSeeds.PermitsAlgo(qa, permission.NestedDFS)
+				want := oracle(ca, qa)
+				scc, _ := compiled.PermitsAlgo(qa, permission.SCC)
+				nested, _ := compiled.PermitsAlgo(qa, permission.NestedDFS)
+				iscc, _ := interp.PermitsAlgo(qa, permission.SCC)
+				inested, _ := interp.PermitsAlgo(qa, permission.NestedDFS)
 				nestedNoSeeds, _ := noSeeds.PermitsAlgo(qa, permission.NestedDFS)
-				if scc != nested || nested != nestedNoSeeds {
-					t.Fatalf("seed %d contract %d query %d: verdicts diverge: scc=%v nested=%v nested-no-seeds=%v",
-						seed, ci, qi, scc, nested, nestedNoSeeds)
+				if scc != want || nested != want || iscc != want || inested != want || nestedNoSeeds != want {
+					t.Fatalf("seed %d contract %d query %d: verdicts diverge from oracle %v: compiled scc=%v nested=%v, interpreted scc=%v nested=%v nested-no-seeds=%v",
+						seed, ci, qi, want, scc, nested, iscc, inested, nestedNoSeeds)
 				}
 				// A generous budget must not change the verdict, and a
 				// completed search reports no error.
 				for _, algo := range []permission.Algorithm{permission.SCC, permission.NestedDFS} {
-					ok, st, err := withSeeds.PermitsCtx(context.Background(), qa, algo, 1<<30)
+					ok, st, err := compiled.PermitsCtx(context.Background(), qa, algo, 1<<30)
 					if err != nil {
 						t.Fatalf("seed %d contract %d query %d algo %d: unexpected error %v", seed, ci, qi, algo, err)
 					}
@@ -73,6 +80,55 @@ func TestKernelDifferential(t *testing.T) {
 					}
 				}
 			}
+		}
+	}
+}
+
+// TestCheckerSharedStress hammers one shared Checker from a pool of
+// workers, mixing algorithms and kernels, to prove the pooled scratch
+// arenas are race-free (run with -race) and that concurrent reuse
+// never corrupts a verdict.
+func TestCheckerSharedStress(t *testing.T) {
+	contracts, queries := diffWorkload(t, 99, 4, 6)
+	for _, ca := range contracts {
+		compiled := permission.NewChecker(ca)
+		interp := permission.NewChecker(ca, permission.WithInterpreted())
+		want := make([]bool, len(queries))
+		for i, qa := range queries {
+			want[i] = oracle(ca, qa)
+		}
+		const workers = 8
+		const rounds = 40
+		var wg sync.WaitGroup
+		errs := make(chan error, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for r := 0; r < rounds; r++ {
+					qi := (w + r) % len(queries)
+					algo := permission.SCC
+					if (w+r)%2 == 1 {
+						algo = permission.NestedDFS
+					}
+					ch := compiled
+					if r%3 == 0 {
+						ch = interp
+					}
+					if got, _ := ch.PermitsAlgo(queries[qi], algo); got != want[qi] {
+						select {
+						case errs <- fmt.Errorf("worker %d round %d query %d algo %d: got %v want %v", w, r, qi, algo, got, want[qi]):
+						default:
+						}
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(errs)
+		if err := <-errs; err != nil {
+			t.Fatal(err)
 		}
 	}
 }

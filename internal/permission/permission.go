@@ -21,6 +21,14 @@
 //     graph doubled with a "seen a contract-final pair" flag, so each
 //     (pair, flag) is visited at most once per knot and the search is
 //     linear in the product rather than backtracking-exponential.
+//
+// Each algorithm exists in two executions. The *compiled* kernels (the
+// default; see compiled.go) run on the flat buchi.Compiled forms with
+// precomputed edge-compatibility bitmasks and pooled scratch, and are
+// what production queries use. The *interpreted* kernels walk the
+// pointer-rich BA directly, re-testing label compatibility at every
+// product edge; they are the readable reference the differential tests
+// cross-validate against, selected with WithInterpreted.
 package permission
 
 import (
@@ -50,6 +58,10 @@ type Stats struct {
 	CycleSearches int // nested searches started (knots tried)
 	CycleVisited  int // (pair, flag) states expanded across nested searches
 	Steps         int // kernel steps consumed (pairs + cycle nodes), the budget unit
+
+	// Compiled-kernel counters, zero on the interpreted path.
+	MaskBuilds int // compatibility mask matrices built (one per compiled check)
+	StepsSaved int // label tests the masks avoided vs. the naive double loop
 }
 
 // Add accumulates another call's counters, for callers aggregating
@@ -59,6 +71,8 @@ func (s *Stats) Add(o Stats) {
 	s.CycleSearches += o.CycleSearches
 	s.CycleVisited += o.CycleVisited
 	s.Steps += o.Steps
+	s.MaskBuilds += o.MaskBuilds
+	s.StepsSaved += o.StepsSaved
 }
 
 // Algorithm selects the search strategy. Both return identical
@@ -82,10 +96,13 @@ const (
 )
 
 // Checker holds a contract automaton with its registration-time
-// precomputation. A Checker is immutable after construction and safe
-// for concurrent use.
+// precomputation, including the compiled CSR form the default kernels
+// execute. A Checker is immutable after construction and safe for
+// concurrent use.
 type Checker struct {
 	contract *buchi.BA
+	// cc is the contract's compiled form, built once at registration.
+	cc *buchi.Compiled
 	// seeds[s] reports whether contract state s lies on a cycle
 	// containing a contract-final state; only such states can anchor
 	// the contract side of a simultaneous lasso cycle.
@@ -93,7 +110,9 @@ type Checker struct {
 	// useSeeds disables the seed restriction for ablation studies; the
 	// result is unchanged, only more nested searches run.
 	useSeeds bool
-	algo     Algorithm
+	// interpreted selects the reference kernels over the compiled ones.
+	interpreted bool
+	algo        Algorithm
 }
 
 // Option configures a Checker.
@@ -107,11 +126,20 @@ func WithoutSeeds() Option { return func(c *Checker) { c.useSeeds = false } }
 // WithAlgorithm selects the search strategy.
 func WithAlgorithm(a Algorithm) Option { return func(c *Checker) { c.algo = a } }
 
-// NewChecker precomputes the seed states of the contract automaton
-// (registration-time work in the paper's architecture).
+// WithInterpreted selects the interpreted reference kernels, which
+// walk the BA pointer graph and re-test label compatibility on every
+// product edge. Verdicts are identical to the compiled kernels' (the
+// differential tests enforce this); the option exists for
+// cross-validation and for measuring what compilation buys.
+func WithInterpreted() Option { return func(c *Checker) { c.interpreted = true } }
+
+// NewChecker precomputes the seed states and the compiled form of the
+// contract automaton (registration-time work in the paper's
+// architecture).
 func NewChecker(contract *buchi.BA, opts ...Option) *Checker {
 	c := &Checker{
 		contract: contract,
+		cc:       contract.Compiled(),
 		seeds:    contract.OnAcceptingCycle(),
 		useSeeds: true,
 	}
@@ -161,36 +189,62 @@ func (c *Checker) PermitsCtx(ctx context.Context, query *buchi.BA, algo Algorith
 			return false, Stats{}, ErrCanceled
 		}
 	}
-	s := &search{
+	sc := scratchPool.Get().(*scratch)
+	s := &sc.srch
+	*s = search{
 		contract: c.contract,
 		query:    query,
 		checker:  c,
 		nc:       c.contract.NumStates(),
 		nq:       query.NumStates(),
+		sc:       sc,
 		ctx:      ctx,
 		budget:   stepBudget,
 	}
-	s.visited = make([]bool, s.nc*s.nq)
-	// Pre-resolve which query labels cite only contract events
-	// (condition (i) of compatibility); the per-pair check then
-	// reduces to a literal conflict test.
-	s.edgeOK = make([][]bool, s.nq)
-	for q, out := range query.Out {
-		s.edgeOK[q] = make([]bool, len(out))
-		for i, e := range out {
-			s.edgeOK[q][i] = e.Label.Vars().SubsetOf(c.contract.Events)
+	n := s.nc * s.nq
+	sc.visited = ensureU32(sc.visited, n)
+	var found bool
+	if c.interpreted {
+		s.prepEdgeOK()
+		switch algo {
+		case SCC:
+			sc.onStack = ensureU32(sc.onStack, n)
+			sc.index = ensureI32(sc.index, n)
+			sc.low = ensureI32(sc.low, n)
+			s.gen = sc.nextGen()
+			found = s.sccSearch()
+		default:
+			sc.cycleSeen = ensureU32(sc.cycleSeen, 2*n)
+			s.gen = sc.nextGen()
+			found = s.nestedSearch()
+		}
+	} else {
+		s.cc = c.cc
+		s.qc = query.Compiled()
+		s.gen = sc.nextGen()
+		s.buildMasks()
+		sc.built = ensureU32(sc.built, n)
+		sc.adjOff = ensureI32(sc.adjOff, n)
+		sc.adjEnd = ensureI32(sc.adjEnd, n)
+		sc.adj = sc.adj[:0]
+		switch algo {
+		case SCC:
+			sc.onStack = ensureU32(sc.onStack, n)
+			sc.index = ensureI32(sc.index, n)
+			sc.low = ensureI32(sc.low, n)
+			found = s.compiledSCC()
+		default:
+			sc.cycleSeen = ensureU32(sc.cycleSeen, 2*n)
+			found = s.compiledNested()
 		}
 	}
-	var found bool
-	if algo == SCC {
-		found = s.sccSearch()
-	} else {
-		found = s.visit(c.contract.Init, query.Init)
+	stats, stop := s.stats, s.stop
+	*s = search{} // drop ctx/automata references before pooling
+	scratchPool.Put(sc)
+	if stop != nil {
+		return false, stats, stop
 	}
-	if s.stop != nil {
-		return false, s.stats, s.stop
-	}
-	return found, s.stats, nil
+	return found, stats, nil
 }
 
 // Check is a convenience for one-shot use: it builds a Checker and
@@ -199,27 +253,32 @@ func Check(contract, query *buchi.BA) bool {
 	return NewChecker(contract).Permits(query)
 }
 
+// search is the per-call state of one permission check. It lives
+// inside the pooled scratch arena (scratch.srch), not on the heap.
 type search struct {
 	contract *buchi.BA
 	query    *buchi.BA
+	cc, qc   *buchi.Compiled // compiled path only
 	checker  *Checker
 	nc, nq   int
+	W        int // mask row width in words (compiled path)
 
-	visited []bool   // outer DFS: product pairs expanded
-	edgeOK  [][]bool // query edge index → cites only contract events
-	stats   Stats
+	sc  *scratch
+	gen uint32
+
+	// Aliases into the arena, bound per call.
+	edgeOK []bool   // interpreted: flat query-edge vocabulary check
+	qOff   []int32  // interpreted: edgeOK offset per query state
+	masks  []uint64 // compiled: compatibility mask matrix
+
+	stats Stats
 
 	// abort plumbing: ctx (nil = uncancellable) is polled every
 	// ctxPollMask+1 steps, budget ≤ 0 is unlimited, and stop latches
-	// the abort reason so recursive kernels unwind promptly.
+	// the abort reason so the kernels unwind promptly.
 	ctx    context.Context
 	budget int
 	stop   error
-
-	// cycle-search scratch. The generation counter makes "reset
-	// between knots" O(1) instead of an O(|product|) clear per knot.
-	cycleSeen []uint32 // generation at which (pair, flag) was visited
-	cycleGen  uint32
 }
 
 // ctxPollMask amortizes the context check: an atomic-free counter test
@@ -229,7 +288,7 @@ const ctxPollMask = 0xff
 
 // tick consumes one kernel step. It returns true when the search must
 // abort — budget exhausted or context done — and latches the reason in
-// s.stop so callers at any recursion depth see it.
+// s.stop so the kernels unwind at the next expansion.
 func (s *search) tick() bool {
 	if s.stop != nil {
 		return true
@@ -250,39 +309,76 @@ func (s *search) tick() bool {
 
 func (s *search) pair(cs, qs buchi.StateID) int { return int(cs)*s.nq + int(qs) }
 
-// visit is the outer DFS of Algorithm 2: it enumerates reachable
-// product pairs and starts a nested cycle search at every viable knot.
-func (s *search) visit(cs, qs buchi.StateID) bool {
-	if s.stop != nil {
-		return false
+// prepEdgeOK pre-resolves which query labels cite only contract events
+// (condition (i) of compatibility) into the arena's flat edgeOK array;
+// the interpreted kernels' per-pair check then reduces to a literal
+// conflict test.
+func (s *search) prepEdgeOK() {
+	sc := s.sc
+	sc.qOff = ensureI32(sc.qOff, s.nq)
+	total := 0
+	for q, out := range s.query.Out {
+		sc.qOff[q] = int32(total)
+		total += len(out)
 	}
-	p := s.pair(cs, qs)
-	if s.visited[p] {
-		return false
+	sc.edgeOK = ensureBool(sc.edgeOK, total)
+	for q, out := range s.query.Out {
+		off := int(sc.qOff[q])
+		for i, e := range out {
+			sc.edgeOK[off+i] = e.Label.Vars().SubsetOf(s.contract.Events)
+		}
 	}
-	if s.tick() {
-		return false
-	}
-	s.visited[p] = true
-	s.stats.PairsVisited++
+	s.edgeOK, s.qOff = sc.edgeOK, sc.qOff
+}
 
-	if s.query.Final[qs] && (!s.checker.useSeeds || s.checker.seeds[cs]) {
-		s.stats.CycleSearches++
-		if s.cycleSearch(cs, qs) {
-			return true
+// nestedSearch is the interpreted outer DFS of Algorithm 2: an
+// explicit-stack enumeration of reachable product pairs that starts a
+// nested cycle search at every viable knot.
+func (s *search) nestedSearch() bool {
+	sc := s.sc
+	nq := s.nq
+	gen := s.gen
+	visited := sc.visited
+	stack := append(sc.stack[:0], int32(s.pair(s.contract.Init, s.query.Init)))
+	found := false
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if visited[v] == gen {
+			continue
+		}
+		if s.tick() {
+			break
+		}
+		visited[v] = gen
+		s.stats.PairsVisited++
+		cs := buchi.StateID(int(v) / nq)
+		qs := buchi.StateID(int(v) % nq)
+		if s.query.Final[qs] && (!s.checker.useSeeds || s.checker.seeds[cs]) {
+			s.stats.CycleSearches++
+			if s.cycleSearch(cs, qs) {
+				found = true
+				break
+			}
+			if s.stop != nil {
+				break
+			}
+		}
+		off := int(s.qOff[qs])
+		for _, ec := range s.contract.Out[cs] {
+			for qi, eq := range s.query.Out[qs] {
+				if !s.edgeOK[off+qi] || ec.Label.Conflicts(eq.Label) {
+					continue
+				}
+				t := int32(s.pair(ec.To, eq.To))
+				if visited[t] != gen {
+					stack = append(stack, t)
+				}
+			}
 		}
 	}
-	for _, ec := range s.contract.Out[cs] {
-		for qi, eq := range s.query.Out[qs] {
-			if !s.edgeOK[qs][qi] || ec.Label.Conflicts(eq.Label) {
-				continue
-			}
-			if s.visit(ec.To, eq.To) {
-				return true
-			}
-		}
-	}
-	return false
+	sc.stack = stack[:0]
+	return found
 }
 
 // cycleSearch looks for a product cycle from the knot back to itself
@@ -290,52 +386,60 @@ func (s *search) visit(cs, qs buchi.StateID) bool {
 // space is the product graph doubled with a flag recording whether a
 // contract-final pair has been seen since leaving the knot (the knot
 // itself counts); memoizing (pair, flag) keeps the search linear.
+// Nodes are encoded as pair<<1|flag in the arena's cycleSeen array.
 func (s *search) cycleSearch(kc, kq buchi.StateID) bool {
-	if s.cycleSeen == nil {
-		s.cycleSeen = make([]uint32, s.nc*s.nq*2)
+	sc := s.sc
+	cg := sc.nextCycleGen()
+	seen := sc.cycleSeen
+	start := int32(s.pair(kc, kq)) << 1
+	if s.contract.Final[kc] {
+		start |= 1
 	}
-	s.cycleGen++
-	type node struct {
-		cs, qs buchi.StateID
-		flag   bool
-	}
-	startFlag := s.contract.Final[kc]
-	stack := []node{{kc, kq, startFlag}}
-	// Note: the start node is expanded but deliberately not marked
-	// seen with its own key until expanded, so a self-loop works.
-	for len(stack) > 0 {
-		n := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		key := s.pair(n.cs, n.qs) * 2
-		if n.flag {
-			key++
-		}
-		if s.cycleSeen[key] == s.cycleGen {
+	cstack := append(sc.cstack[:0], start)
+	found := false
+loop:
+	for len(cstack) > 0 {
+		nd := cstack[len(cstack)-1]
+		cstack = cstack[:len(cstack)-1]
+		if seen[nd] == cg {
 			continue
 		}
 		if s.tick() {
-			return false
+			break
 		}
-		s.cycleSeen[key] = s.cycleGen
+		seen[nd] = cg
 		s.stats.CycleVisited++
-		for _, ec := range s.contract.Out[n.cs] {
-			for qi, eq := range s.query.Out[n.qs] {
-				if !s.edgeOK[n.qs][qi] || ec.Label.Conflicts(eq.Label) {
+		flag := nd&1 != 0
+		p := int(nd >> 1)
+		cs := buchi.StateID(p / s.nq)
+		qs := buchi.StateID(p % s.nq)
+		off := int(s.qOff[qs])
+		for _, ec := range s.contract.Out[cs] {
+			for qi, eq := range s.query.Out[qs] {
+				if !s.edgeOK[off+qi] || ec.Label.Conflicts(eq.Label) {
 					continue
 				}
-				flag := n.flag || s.contract.Final[ec.To]
+				nflag := flag || s.contract.Final[ec.To]
 				if ec.To == kc && eq.To == kq {
 					// Closed the cycle: accept if a contract-final
 					// pair occurred on it (the knot itself counts via
-					// startFlag, the closing target via flag).
-					if flag {
-						return true
+					// the start flag, the closing target via nflag).
+					if nflag {
+						found = true
+						break loop
 					}
 					continue
 				}
-				stack = append(stack, node{ec.To, eq.To, flag})
+				key := int32(s.pair(ec.To, eq.To)) << 1
+				if nflag {
+					key |= 1
+				}
+				if seen[key] != cg {
+					cstack = append(cstack, key)
+				}
 			}
 		}
 	}
-	return false
+	sc.cstack = cstack[:0]
+	return found
 }

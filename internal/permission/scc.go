@@ -2,6 +2,14 @@ package permission
 
 import "contractdb/internal/buchi"
 
+// iframe is an interpreted-Tarjan traversal frame; its cursor resumes
+// the contract × query out-edge double loop where a child preempted
+// it.
+type iframe struct {
+	pair   int32
+	ci, qi int32
+}
+
 // sccSearch decides simultaneous-lasso existence with one Tarjan pass
 // over the implicit product graph: a simultaneous lasso exists iff
 // some product component reachable from the initial pair has an
@@ -12,58 +20,56 @@ import "contractdb/internal/buchi"
 // conditions compose into one witness cycle.
 //
 // The search terminates as soon as a qualifying component is popped.
+// All bookkeeping (discovery indices, low links, the component stack,
+// the traversal frames) lives in the generation-counted arena, so
+// repeated checks neither allocate nor pay a per-call clear.
 func (s *search) sccSearch() bool {
-	n := s.nc * s.nq
-	index := make([]int32, n)
-	low := make([]int32, n)
-	for i := range index {
-		index[i] = -1
-	}
-	onStack := make([]bool, n)
-	var stack []int32
+	sc := s.sc
+	nq := s.nq
+	gen := s.gen
+	visited, onStack := sc.visited, sc.onStack
+	index, low := sc.index, sc.low
+	stack := sc.sccStack[:0]
+	work := sc.iframes[:0]
 	next := int32(0)
-
-	// frame iterates the double loop over contract × query out-edges.
-	type frame struct {
-		pair   int32
-		ci, qi int
-	}
-	root := int32(s.pair(s.contract.Init, s.query.Init))
-	work := []frame{{pair: root}}
+	found := false
+	work = append(work, iframe{pair: int32(s.pair(s.contract.Init, s.query.Init))})
 	for len(work) > 0 {
 		f := &work[len(work)-1]
 		v := f.pair
-		cs := buchi.StateID(int(v) / s.nq)
-		qs := buchi.StateID(int(v) % s.nq)
-		if f.ci == 0 && f.qi == 0 && index[v] == -1 {
+		cs := buchi.StateID(int(v) / nq)
+		qs := buchi.StateID(int(v) % nq)
+		if visited[v] != gen {
 			if s.tick() {
-				return false
+				break
 			}
+			visited[v] = gen
 			index[v] = next
 			low[v] = next
 			next++
 			stack = append(stack, v)
-			onStack[v] = true
+			onStack[v] = gen
 			s.stats.PairsVisited++
 		}
 		advanced := false
 		cout := s.contract.Out[cs]
 		qout := s.query.Out[qs]
-		for f.ci < len(cout) {
+		off := int(s.qOff[qs])
+		for int(f.ci) < len(cout) {
 			ec := cout[f.ci]
-			for f.qi < len(qout) {
-				qi := f.qi
+			for int(f.qi) < len(qout) {
+				qi := int(f.qi)
 				f.qi++
-				if !s.edgeOK[qs][qi] || ec.Label.Conflicts(qout[qi].Label) {
+				if !s.edgeOK[off+qi] || ec.Label.Conflicts(qout[qi].Label) {
 					continue
 				}
 				w := int32(s.pair(ec.To, qout[qi].To))
-				if index[w] == -1 {
-					work = append(work, frame{pair: w})
+				if visited[w] != gen {
+					work = append(work, iframe{pair: w})
 					advanced = true
 					break
 				}
-				if onStack[w] && index[w] < low[v] {
+				if onStack[w] == gen && index[w] < low[v] {
 					low[v] = index[w]
 				}
 			}
@@ -77,57 +83,55 @@ func (s *search) sccSearch() bool {
 			continue
 		}
 		if low[v] == index[v] {
-			// Pop the component and test the three conditions.
-			popped := stack
+			// Pop the component, testing the three conditions in place
+			// (no members copy).
+			queryFinal, contractFinal := false, false
 			cut := len(stack)
 			for {
 				cut--
-				if popped[cut] == v {
+				m := stack[cut]
+				onStack[m] = 0
+				if s.contract.Final[int(m)/nq] {
+					contractFinal = true
+				}
+				if s.query.Final[int(m)%nq] {
+					queryFinal = true
+				}
+				if m == v {
 					break
 				}
 			}
-			members := append([]int32(nil), stack[cut:]...)
+			multi := len(stack)-cut > 1
 			stack = stack[:cut]
-			queryFinal, contractFinal := false, false
-			for _, m := range members {
-				onStack[m] = false
-				mc := buchi.StateID(int(m) / s.nq)
-				mq := buchi.StateID(int(m) % s.nq)
-				if s.contract.Final[mc] {
-					contractFinal = true
-				}
-				if s.query.Final[mq] {
-					queryFinal = true
-				}
-			}
-			if queryFinal && contractFinal && s.componentHasCycle(members) {
-				return true
+			if queryFinal && contractFinal && (multi || s.selfLoop(v)) {
+				found = true
+				break
 			}
 		}
 		work = work[:len(work)-1]
 		if len(work) > 0 {
-			parent := work[len(work)-1].pair
-			if low[v] < low[parent] {
-				low[parent] = low[v]
+			if p := work[len(work)-1].pair; low[v] < low[p] {
+				low[p] = low[v]
 			}
 		}
 	}
-	return false
+	sc.sccStack, sc.iframes = stack[:0], work[:0]
+	return found
 }
 
-// componentHasCycle reports whether the popped component supports a
-// cycle: more than one member always does (strong connectivity), a
-// singleton only via a self-edge in the product.
-func (s *search) componentHasCycle(members []int32) bool {
-	if len(members) > 1 {
-		return true
-	}
-	v := members[0]
+// selfLoop reports whether singleton component {v} has a product
+// self-edge: more than one member always supports a cycle (strong
+// connectivity), a singleton only this way.
+func (s *search) selfLoop(v int32) bool {
 	cs := buchi.StateID(int(v) / s.nq)
 	qs := buchi.StateID(int(v) % s.nq)
+	off := int(s.qOff[qs])
 	for _, ec := range s.contract.Out[cs] {
+		if ec.To != cs {
+			continue
+		}
 		for qi, eq := range s.query.Out[qs] {
-			if ec.To == cs && eq.To == qs && s.edgeOK[qs][qi] && !ec.Label.Conflicts(eq.Label) {
+			if eq.To == qs && s.edgeOK[off+qi] && !ec.Label.Conflicts(eq.Label) {
 				return true
 			}
 		}

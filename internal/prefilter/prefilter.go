@@ -112,12 +112,14 @@ type literal struct {
 
 func literalsOf(l buchi.Label) []literal {
 	out := make([]literal, 0, l.LiteralCount())
-	for _, id := range l.Pos.IDs() {
+	l.Pos.ForEach(func(id vocab.EventID) bool {
 		out = append(out, literal{event: id})
-	}
-	for _, id := range l.Neg.IDs() {
+		return true
+	})
+	l.Neg.ForEach(func(id vocab.EventID) bool {
 		out = append(out, literal{event: id, neg: true})
-	}
+		return true
+	})
 	return out
 }
 

@@ -153,6 +153,17 @@ func (s Set) IDs() []EventID {
 	return out
 }
 
+// ForEach calls f for every member in increasing order, stopping early
+// when f returns false. Unlike IDs it allocates nothing, so it is the
+// iteration to use on hot paths.
+func (s Set) ForEach(f func(EventID) bool) {
+	for x := uint64(s); x != 0; x &= x - 1 {
+		if !f(EventID(bits.TrailingZeros64(x))) {
+			return
+		}
+	}
+}
+
 // String formats s against no vocabulary, as a sorted list of bit
 // indices. Use Format for named output.
 func (s Set) String() string {

@@ -137,3 +137,34 @@ func TestIDsSorted(t *testing.T) {
 		}
 	}
 }
+
+func TestForEachMatchesIDs(t *testing.T) {
+	for _, s := range []vocab.Set{0, vocab.Set(0).With(0), vocab.Set(0).With(3).With(17).With(63), ^vocab.Set(0)} {
+		var got []vocab.EventID
+		s.ForEach(func(id vocab.EventID) bool {
+			got = append(got, id)
+			return true
+		})
+		want := s.IDs()
+		if len(got) != len(want) {
+			t.Fatalf("ForEach visited %v, IDs = %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("ForEach visited %v, IDs = %v", got, want)
+			}
+		}
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := vocab.Set(0).With(2).With(5).With(9)
+	n := 0
+	s.ForEach(func(vocab.EventID) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Fatalf("visited %d members after stop, want 2", n)
+	}
+}
