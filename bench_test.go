@@ -127,6 +127,12 @@ func BenchmarkFindAny(b *testing.B) {
 	b.Run("find-any", benchkit.FindAny(true))
 }
 
+// BenchmarkTraceOff vs BenchmarkFig5Optimized/contracts=100 bounds the
+// tracing tax with sampling off (the default); it must stay within
+// noise. BenchmarkTraceSampled records a full span tree per query.
+func BenchmarkTraceOff(b *testing.B)     { benchkit.TraceOverhead(100, 0)(b) }
+func BenchmarkTraceSampled(b *testing.B) { benchkit.TraceOverhead(100, 1)(b) }
+
 // BenchmarkFig6 reproduces Figure 6's grid: optimized evaluation per
 // contract class × query class (database size fixed).
 func BenchmarkFig6(b *testing.B) {

@@ -26,6 +26,7 @@ import (
 	"contractdb/internal/core"
 	"contractdb/internal/datagen"
 	"contractdb/internal/ltl"
+	"contractdb/internal/trace"
 	"contractdb/internal/vocab"
 )
 
@@ -201,6 +202,7 @@ func cmdQuery(args []string) error {
 	timeout := fs.Duration("timeout", 0, "abort the evaluation after this long (0 = none)")
 	noCache := fs.Bool("no-cache", false, "bypass the query-compilation and result caches")
 	repeat := fs.Int("repeat", 1, "run the query N times, reporting cold vs. warm latency")
+	explain := fs.Bool("explain", false, "trace the first evaluation and print its span tree")
 	fs.Parse(args)
 	if *dbPath == "" || *spec == "" {
 		return fmt.Errorf("query: -db and -spec are required")
@@ -232,45 +234,87 @@ func cmdQuery(args []string) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	start := time.Now()
-	res, err := db.QueryModeCtx(ctx, q, m)
-	cold := time.Since(start)
-	if err != nil {
-		return err
+	// Every run gets a request ID like the server would assign; -explain
+	// traces the first (cold) run and prints its span tree.
+	tracer := trace.New(trace.Config{})
+	type runInfo struct {
+		id      string
+		elapsed time.Duration
+		stats   core.QueryStats
+	}
+	var (
+		runs []runInfo
+		res  *core.Result
+		tr   *trace.Trace
+	)
+	for i := 0; i < *repeat; i++ {
+		id := trace.NewRequestID()
+		qctx := trace.WithRequestID(ctx, id)
+		var t *trace.Trace
+		if *explain && i == 0 {
+			qctx, t = tracer.StartQuery(qctx, *spec, id, true)
+		}
+		start := time.Now()
+		r, err := db.QueryModeCtx(qctx, q, m)
+		elapsed := time.Since(start)
+		tracer.Finish(t)
+		if err != nil {
+			return err
+		}
+		if i == 0 {
+			res, tr = r, t
+		}
+		runs = append(runs, runInfo{id: id, elapsed: elapsed, stats: r.Stats})
 	}
 	for _, c := range res.Matches {
 		fmt.Println(c.Name)
 	}
-	fmt.Fprintf(os.Stderr, "%d/%d contracts permit the query (%d candidates after prefilter, %v)\n",
+	fmt.Fprintf(os.Stderr, "%d/%d contracts permit the query (%d candidates after prefilter, %v, request %s)\n",
 		res.Stats.Permitted, res.Stats.Total, res.Stats.Candidates,
-		res.Stats.Elapsed().Round(time.Microsecond))
+		res.Stats.Elapsed().Round(time.Microsecond), runs[0].id)
+	if tr != nil {
+		fmt.Fprint(os.Stderr, tr.Pretty())
+	}
 	if *repeat > 1 {
-		// The first run above was cold (fresh process, empty caches);
-		// the rest measure the warm path. Wall time, not stage sums —
-		// cached serves skip every stage.
+		// The first run was cold (fresh process, empty caches); the rest
+		// measure the warm path. Wall time, not stage sums — cached
+		// serves skip every stage.
+		fmt.Fprintf(os.Stderr, "%-4s  %-22s  %12s  %-6s  %s\n",
+			"run", "request-id", "elapsed", "cached", "stages")
 		var warmTotal, warmMin time.Duration
 		cachedServes := 0
-		for i := 1; i < *repeat; i++ {
-			t := time.Now()
-			r, err := db.QueryModeCtx(ctx, q, m)
-			if err != nil {
-				return err
+		for i, r := range runs {
+			fmt.Fprintf(os.Stderr, "%-4d  %-22s  %12v  %-6t  %s\n",
+				i, r.id, r.elapsed.Round(time.Microsecond), r.stats.CacheHit, stageSummary(r.stats))
+			if i == 0 {
+				continue
 			}
-			w := time.Since(t)
-			warmTotal += w
-			if warmMin == 0 || w < warmMin {
-				warmMin = w
+			warmTotal += r.elapsed
+			if warmMin == 0 || r.elapsed < warmMin {
+				warmMin = r.elapsed
 			}
-			if r.Stats.CacheHit {
+			if r.stats.CacheHit {
 				cachedServes++
 			}
 		}
 		fmt.Fprintf(os.Stderr, "repeat %d: cold %v, warm avg %v, warm min %v (%d/%d served from cache)\n",
-			*repeat, cold.Round(time.Microsecond),
+			*repeat, runs[0].elapsed.Round(time.Microsecond),
 			(warmTotal / time.Duration(*repeat-1)).Round(time.Microsecond),
 			warmMin.Round(time.Microsecond), cachedServes, *repeat-1)
 	}
 	return nil
+}
+
+// stageSummary compresses a run's per-stage latencies for the -repeat
+// table: translate / filter / check, or the cache when no stage ran.
+func stageSummary(st core.QueryStats) string {
+	if st.CacheHit {
+		return "result-cache"
+	}
+	return fmt.Sprintf("t=%v f=%v c=%v",
+		st.Translate.Round(time.Microsecond),
+		st.Filter.Round(time.Microsecond),
+		st.Check.Round(time.Microsecond))
 }
 
 func cmdShow(args []string) error {

@@ -35,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux, served only under -pprof-addr
 	"os"
@@ -47,6 +48,7 @@ import (
 	"contractdb/internal/metrics"
 	"contractdb/internal/server"
 	"contractdb/internal/store"
+	"contractdb/internal/trace"
 	"contractdb/internal/vocab"
 	"contractdb/internal/wal"
 )
@@ -66,6 +68,10 @@ func main() {
 	resultCacheSize := flag.Int("result-cache-size", 0, "query result cache capacity (0 = default, negative = disabled)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
+	traceBuffer := flag.Int("trace-buffer", trace.DefaultBufferSize, "recent query-trace ring capacity (negative disables retention)")
+	traceSample := flag.Int("trace-sample", 0, "trace every Nth query into the ring (0 = only explicitly requested traces)")
+	slowQuery := flag.Duration("slow-query", 0, "trace every query and log + retain those at least this slow (0 = disabled)")
+	logFormat := flag.String("log-format", "text", "request/slow-query log format: text | json")
 	flag.Parse()
 
 	if (*dataDir == "") == (*dbPath == "") {
@@ -73,14 +79,32 @@ func main() {
 		os.Exit(2)
 	}
 
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ctdbd: %v\n", err)
+		os.Exit(2)
+	}
+	tracer := trace.New(trace.Config{
+		BufferSize:    *traceBuffer,
+		SampleEvery:   *traceSample,
+		SlowThreshold: *slowQuery,
+		OnSlow: func(tr *trace.Trace) {
+			logger.Warn("slow query",
+				"request_id", tr.RequestID,
+				"trace_id", tr.ID,
+				"query", tr.Query,
+				"duration_us", tr.DurUS,
+			)
+		},
+	})
+
 	var (
 		db      *core.DB
 		st      *store.Store
 		persist func(*core.DB) error
-		err     error
 	)
 	if *dataDir != "" {
-		st, err = openStore(*dataDir, *events, *fsync, *fsyncInterval, *checkpointEvery)
+		st, err = openStore(*dataDir, *events, *fsync, *fsyncInterval, *checkpointEvery, tracer)
 		if err != nil {
 			log.Fatalf("ctdbd: %v", err)
 		}
@@ -103,9 +127,12 @@ func main() {
 	srv.Persist = persist
 	srv.QueryTimeout = *queryTimeout
 	srv.StepBudget = *stepBudget
+	srv.Tracer = tracer
+	srv.Logger = logger
 	if st != nil {
 		srv.Checkpoint = st.Checkpoint
 		srv.Durability = st.Metrics()
+		srv.Recovery = recoveryState(st.Recovery)
 	}
 
 	httpSrv := &http.Server{
@@ -153,7 +180,34 @@ func main() {
 	log.Printf("ctdbd: clean shutdown")
 }
 
-func openStore(dir, events, fsync string, fsyncInterval time.Duration, checkpointEvery int) (*store.Store, error) {
+// newLogger builds the structured logger behind the request and
+// slow-query logs.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
+}
+
+// recoveryState converts the store's recovery report to the server's
+// wire shape for /v1/health.
+func recoveryState(r store.RecoveryInfo) *server.RecoveryState {
+	return &server.RecoveryState{
+		Clean:            r.Clean,
+		SnapshotSeq:      r.SnapshotSeq,
+		SnapshotPath:     r.SnapshotPath,
+		SkippedSnapshots: r.SkippedSnapshots,
+		ReplayedRecords:  r.ReplayedRecords,
+		TruncatedBytes:   r.TruncatedBytes,
+		DurationUS:       r.Duration.Microseconds(),
+	}
+}
+
+func openStore(dir, events, fsync string, fsyncInterval time.Duration, checkpointEvery int, tracer *trace.Tracer) (*store.Store, error) {
 	policy, err := wal.ParseSyncPolicy(fsync)
 	if err != nil {
 		return nil, err
@@ -168,6 +222,7 @@ func openStore(dir, events, fsync string, fsyncInterval time.Duration, checkpoin
 		SyncInterval:      fsyncInterval,
 		CheckpointRecords: checkpointEvery,
 		Metrics:           &metrics.Durability{},
+		Tracer:            tracer,
 		Logf:              log.Printf,
 	})
 	if err != nil {

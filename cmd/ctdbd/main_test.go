@@ -5,6 +5,7 @@ import (
 	"net"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"testing"
@@ -138,6 +139,97 @@ func TestDaemonGracefulShutdownAndRecovery(t *testing.T) {
 	}
 	if _, err := d3.client().Checkpoint(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestDaemonObservability runs a daemon with tracing and JSON logging
+// wired up and scrapes the whole observability surface: /v1/health's
+// recovery state, /v1/metrics' uptime and build info, a trace:true
+// query, /v1/traces, and the Prometheus exposition on /metrics.
+func TestDaemonObservability(t *testing.T) {
+	bin := buildDaemon(t)
+	dataDir := filepath.Join(t.TempDir(), "data")
+	d := startDaemon(t, bin, dataDir,
+		"-trace-sample", "1", "-slow-query", "1ns", "-log-format", "json")
+	c := d.client()
+
+	if _, err := c.Register("NoDoubleRefund", "G(refund -> X G !refund)"); err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Recovery == nil || h.UptimeSeconds < 0 {
+		t.Fatalf("health lacks recovery state: %+v", h)
+	}
+	m, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Build.GoVersion == "" || m.Build.SnapshotFormatVersion == 0 || m.UptimeSeconds < 0 {
+		t.Errorf("metrics build info = %+v", m.Build)
+	}
+
+	res, err := c.QueryRequest(server.QueryRequest{Spec: "F refund", Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil || res.RequestID == "" {
+		t.Fatalf("trace:true over the daemon returned %+v", res)
+	}
+	traces, err := c.Traces()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) == 0 {
+		t.Error("sampled daemon retained no traces")
+	}
+	slow, err := c.SlowTraces()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slow) == 0 {
+		t.Error("1ns slow-query threshold retained no slow traces")
+	}
+
+	// Prometheus exposition: known families present, every sample line
+	// is `name[{labels}] <number>`.
+	out, err := c.PrometheusMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"ctdb_queries_total",
+		"ctdb_translate_seconds_bucket",
+		"ctdb_wal_appends_total",
+		"go_goroutines",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("daemon /metrics missing %q", want)
+		}
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("unparseable exposition line %q", line)
+		}
+		if _, err := strconv.ParseFloat(line[i+1:], 64); err != nil {
+			t.Fatalf("exposition line %q: non-numeric value: %v", line, err)
+		}
+	}
+
+	// The JSON request log carries one parseable record per request
+	// with the request id; the slow-query log records the traced query.
+	logs := d.logs.String()
+	if !strings.Contains(logs, `"request_id":"req-`) {
+		t.Errorf("no JSON request log with request ids:\n%s", logs)
+	}
+	if !strings.Contains(logs, "slow query") {
+		t.Errorf("no slow-query log line:\n%s", logs)
 	}
 }
 

@@ -6,6 +6,7 @@
 package benchkit
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -14,6 +15,7 @@ import (
 	"contractdb/internal/datagen"
 	"contractdb/internal/ltl"
 	"contractdb/internal/ltl2ba"
+	"contractdb/internal/trace"
 	"contractdb/internal/vocab"
 )
 
@@ -141,6 +143,34 @@ func warm(b *testing.B, db *core.DB, queries []*ltl.Expr, mode core.Mode) {
 	for _, q := range queries {
 		if _, err := db.QueryMode(q, mode); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// TraceOverhead measures the optimized query path through a Tracer
+// front door, exactly as the HTTP server drives it: StartQuery/Finish
+// bracket every evaluation and the span hooks inside the evaluator run
+// against whatever context comes back. sampleEvery=0 is the disabled
+// path — the configuration the near-zero-overhead claim rests on, so
+// compare it against Fig5Optimized at the same size; sampleEvery=1
+// records a full span tree for every query.
+func TraceOverhead(size, sampleEvery int) func(*testing.B) {
+	return func(b *testing.B) {
+		db := DB(b, datagen.SimpleContracts, size)
+		queries := Queries(b, db.Vocabulary(), 3)
+		mode := core.Mode{Prefilter: true, Bisim: true, Algorithm: core.AlgorithmNestedDFS, NoCache: true}
+		warm(b, db, queries, mode)
+		tracer := trace.New(trace.Config{SampleEvery: sampleEvery})
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q := queries[i%len(queries)]
+			qctx, tr := tracer.StartQuery(ctx, "bench", "", false)
+			if _, err := db.QueryModeCtx(qctx, q, mode); err != nil {
+				b.Fatal(err)
+			}
+			tracer.Finish(tr)
 		}
 	}
 }

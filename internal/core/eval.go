@@ -14,6 +14,7 @@ import (
 	"contractdb/internal/metrics"
 	"contractdb/internal/permission"
 	"contractdb/internal/qcache"
+	"contractdb/internal/trace"
 )
 
 // Errors distinguishing aborted queries from malformed ones,
@@ -101,10 +102,22 @@ func (db *DB) evalQuery(ctx context.Context, spec *ltl.Expr, mode Mode, obligati
 	var compiled *qcache.Compiled
 	var resKey string
 	if !mode.NoCache && db.compile != nil {
-		compiled = db.compile.Get(spec)
+		_, csp := trace.StartSpan(ctx, "canonicalize")
+		var tier1 bool
+		compiled, tier1 = db.compile.Lookup(spec)
+		if csp != nil {
+			csp.SetAttr("cache_hit", tier1)
+		}
+		csp.End()
 		if db.results != nil {
 			resKey = resultCacheKey(compiled.Key, mode, obligation)
-			if v, ok := db.results.Get(resKey, db.epoch); ok {
+			_, rsp := trace.StartSpan(ctx, "result_cache")
+			v, ok := db.results.Get(resKey, db.epoch)
+			if rsp != nil {
+				rsp.SetAttr("hit", ok)
+			}
+			rsp.End()
+			if ok {
 				cr := v.(*cachedResult)
 				st := cr.stats
 				st.Translate, st.Filter, st.Check, st.ProjPick = 0, 0, 0, 0
@@ -113,12 +126,17 @@ func (db *DB) evalQuery(ctx context.Context, spec *ltl.Expr, mode Mode, obligati
 				st.CacheHit = true
 				db.metrics.CachedServe.Observe(time.Since(start))
 				db.metrics.Permitted.Add(int64(len(cr.matches)))
+				if root := trace.SpanFrom(ctx); root != nil {
+					root.SetAttr("cached", true)
+					root.SetAttr("matched", len(cr.matches))
+				}
 				return &Result{Matches: append([]*Contract(nil), cr.matches...), Stats: st}, nil
 			}
 		}
 	}
 
 	t := time.Now()
+	_, tsp := trace.StartSpan(ctx, "translate")
 	var qa *buchi.BA
 	var err error
 	if compiled != nil {
@@ -132,6 +150,11 @@ func (db *DB) evalQuery(ctx context.Context, spec *ltl.Expr, mode Mode, obligati
 		}
 		qa, err = ltl2ba.Translate(db.voc, q)
 	}
+	if tsp != nil && qa != nil {
+		tsp.SetAttr("states", qa.NumStates())
+	}
+	tsp.SetError(err)
+	tsp.End()
 	if err != nil {
 		db.metrics.Errored.Inc()
 		return nil, fmt.Errorf("%s: %w", errPrefix, err)
@@ -142,6 +165,7 @@ func (db *DB) evalQuery(ctx context.Context, spec *ltl.Expr, mode Mode, obligati
 	candidates := db.contracts
 	if mode.Prefilter && !obligation {
 		t = time.Now()
+		_, fsp := trace.StartSpan(ctx, "prefilter")
 		set := db.index.Candidates(qa)
 		stats.Filter = time.Since(t)
 		db.metrics.Prefilter.Observe(stats.Filter)
@@ -150,11 +174,26 @@ func (db *DB) evalQuery(ctx context.Context, spec *ltl.Expr, mode Mode, obligati
 			candidates = append(candidates, db.contracts[id])
 			return true
 		})
+		if fsp != nil {
+			fsp.SetAttr("total", stats.Total)
+			fsp.SetAttr("candidates", len(candidates))
+		}
+		fsp.End()
 	}
 	stats.Candidates = len(candidates)
 	db.metrics.CandidatesPruned.Add(int64(stats.Total - len(candidates)))
 
-	res, err := db.finishQuery(ctx, qa, candidates, mode, obligation, &stats)
+	sctx, ssp := trace.StartSpan(ctx, "scan")
+	res, err := db.finishQuery(sctx, qa, candidates, mode, obligation, &stats)
+	if ssp != nil {
+		ssp.SetAttr("checked", stats.Checked)
+		ssp.SetAttr("steps", stats.Permission.Steps)
+		if res != nil {
+			ssp.SetAttr("matched", len(res.Matches))
+		}
+	}
+	ssp.SetError(err)
+	ssp.End()
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", errPrefix, err)
 	}
@@ -208,6 +247,7 @@ type checkAgg struct {
 // projection (when Bisim is on), then run the selected kernel under
 // the context and step budget.
 func (db *DB) checkOne(ctx context.Context, qa *buchi.BA, c *Contract, mode Mode, agg *checkAgg) (bool, error) {
+	_, sp := trace.StartSpan(ctx, "check")
 	target := c.checker
 	if mode.Bisim {
 		t := time.Now()
@@ -223,6 +263,13 @@ func (db *DB) checkOne(ctx context.Context, qa *buchi.BA, c *Contract, mode Mode
 	ok, ps, err := target.PermitsCtx(ctx, qa, mode.Algorithm, mode.StepBudget)
 	agg.checked++
 	agg.perm.Add(ps)
+	if sp != nil {
+		sp.SetAttr("contract", c.Name)
+		sp.SetAttr("permits", ok)
+		sp.SetAttr("steps", ps.Steps)
+	}
+	sp.SetError(err)
+	sp.End()
 	return ok, err
 }
 

@@ -40,6 +40,11 @@ type contractSnapshot struct {
 // bytes, so snapshots can be diffed and content-addressed).
 const formatVersion = 2
 
+// SnapshotFormatVersion reports the snapshot format this build writes
+// (and the newest it reads); the server surfaces it as build info in
+// GET /v1/metrics.
+func SnapshotFormatVersion() int { return formatVersion }
+
 // Save writes the database, including all precomputed index
 // structures, to w in gob format.
 func (db *DB) Save(w io.Writer) error {

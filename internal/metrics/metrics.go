@@ -82,6 +82,11 @@ type HistogramSnapshot struct {
 	MaxUS int64 `json:"max_us"`
 	P50US int64 `json:"p50_us"`
 	P99US int64 `json:"p99_us"`
+	// Buckets holds the per-bucket counts (NumBuckets entries, not
+	// cumulative). The Prometheus renderer consumes them; they are kept
+	// out of the JSON payload, which already carries the quantile
+	// estimates.
+	Buckets []int64 `json:"-"`
 }
 
 // Snapshot captures the histogram's current state.
@@ -94,12 +99,13 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	if s.Count > 0 {
 		s.AvgUS = s.SumUS / s.Count
 	}
-	var counts [NumBuckets]int64
+	counts := make([]int64, NumBuckets)
 	for i := range counts {
 		counts[i] = h.buckets[i].Load()
 	}
-	s.P50US = percentile(counts[:], s.Count, 0.50)
-	s.P99US = percentile(counts[:], s.Count, 0.99)
+	s.Buckets = counts
+	s.P50US = percentile(counts, s.Count, 0.50)
+	s.P99US = percentile(counts, s.Count, 0.99)
 	return s
 }
 

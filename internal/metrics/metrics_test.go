@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"strconv"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -85,5 +87,159 @@ func TestPercentileEmpty(t *testing.T) {
 	s := h.Snapshot()
 	if s.P50US != 0 || s.P99US != 0 || s.AvgUS != 0 {
 		t.Fatalf("empty histogram snapshot not all zero: %+v", s)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the pow2 bucketing exactly:
+// bucket i counts microsecond values of bit-length i, so bucket i's
+// inclusive range is [2^(i-1), 2^i - 1] (bucket 0 is exactly 0, the
+// last bucket absorbs everything past the range).
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		us     int64
+		bucket int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 2}, {3, 2},
+		{4, 3}, {7, 3},
+		{8, 4}, {15, 4},
+		{1024, 11},
+		{-5, 0},             // negative durations clamp to 0
+		{(1 << 21) - 1, 21}, // top of bucket 21
+		{1 << 21, 22},       // bottom of bucket 22
+		{(1 << (NumBuckets - 1)), NumBuckets - 1}, // first overflow value
+		{1 << 40, NumBuckets - 1},                 // far past the range: clamped
+	}
+	for _, tc := range cases {
+		var h Histogram
+		h.Observe(time.Duration(tc.us) * time.Microsecond)
+		s := h.Snapshot()
+		if len(s.Buckets) != NumBuckets {
+			t.Fatalf("snapshot has %d buckets, want %d", len(s.Buckets), NumBuckets)
+		}
+		for i, c := range s.Buckets {
+			want := int64(0)
+			if i == tc.bucket {
+				want = 1
+			}
+			if c != want {
+				t.Errorf("observe %dµs: bucket[%d] = %d, want %d", tc.us, i, c, want)
+			}
+		}
+	}
+}
+
+// TestHistogramQuantileEstimation checks the nearest-rank upper-bound
+// estimate against a bimodal distribution: 99 fast observations and
+// one slow one.
+func TestHistogramQuantileEstimation(t *testing.T) {
+	// 99 fast observations and 2 slow ones: the nearest-rank p99 of 101
+	// observations is the 100th, which is slow.
+	var h Histogram
+	for i := 0; i < 99; i++ {
+		h.Observe(time.Microsecond)
+	}
+	h.Observe(time.Millisecond)
+	h.Observe(time.Millisecond)
+	s := h.Snapshot()
+	if s.P50US != 1 {
+		t.Errorf("p50 = %dµs, want 1 (the fast mode's bucket bound)", s.P50US)
+	}
+	// 1000µs has bit-length 10, so its bucket's upper bound is 2^10-1.
+	if s.P99US != (1<<10)-1 {
+		t.Errorf("p99 = %dµs, want %d (the slow observations' bucket bound)", s.P99US, (1<<10)-1)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines:
+// under -race this is the data-race check, and the per-bucket counts
+// must balance with the total regardless of interleaving.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration((w*per+i)%512) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Errorf("count = %d, want %d", s.Count, workers*per)
+	}
+	var inBuckets int64
+	for _, c := range s.Buckets {
+		inBuckets += c
+	}
+	if inBuckets != s.Count {
+		t.Errorf("bucket counts sum to %d, want count %d", inBuckets, s.Count)
+	}
+	if s.MaxUS != 511 {
+		t.Errorf("max = %d, want 511", s.MaxUS)
+	}
+	if s.SumUS <= 0 {
+		t.Errorf("sum = %d, want positive", s.SumUS)
+	}
+}
+
+// TestPromExposition sanity-checks the text renderer: every sample
+// line parses as `name[{labels}] value`, histogram buckets are
+// cumulative and end at +Inf == count, and the family set covers the
+// query registry plus the runtime gauges.
+func TestPromExposition(t *testing.T) {
+	var q Query
+	q.Queries.Add(7)
+	q.Translate.Observe(3 * time.Microsecond)
+	q.Translate.Observe(5 * time.Millisecond)
+
+	var b strings.Builder
+	p := NewPromWriter(&b)
+	p.WriteQuery(q.Snapshot())
+	p.WriteDurability((&Durability{}).Snapshot())
+	p.WriteRuntime()
+	if p.Err() != nil {
+		t.Fatal(p.Err())
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE ctdb_queries_total counter",
+		"ctdb_queries_total 7",
+		"# TYPE ctdb_translate_seconds histogram",
+		`ctdb_translate_seconds_bucket{le="+Inf"} 2`,
+		"ctdb_translate_seconds_count 2",
+		"ctdb_wal_appends_total 0",
+		"# TYPE go_goroutines gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	prevCum := int64(-1)
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("unparseable sample line %q", line)
+		}
+		if _, err := strconv.ParseFloat(line[i+1:], 64); err != nil {
+			t.Fatalf("sample %q has non-numeric value: %v", line, err)
+		}
+		if strings.HasPrefix(line, "ctdb_translate_seconds_bucket") {
+			v, _ := strconv.ParseInt(line[i+1:], 10, 64)
+			if v < prevCum {
+				t.Fatalf("histogram buckets not cumulative at %q", line)
+			}
+			prevCum = v
+		}
 	}
 }

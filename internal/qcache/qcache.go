@@ -128,13 +128,21 @@ func NewCompileCache(capacity int, m Metrics) *CompileCache {
 // returned entry stays usable even if it is evicted while a caller
 // still holds it.
 func (c *CompileCache) Get(spec *ltl.Expr) *Compiled {
+	e, _ := c.Lookup(spec)
+	return e
+}
+
+// Lookup is Get plus a hit report: the second result is true when the
+// canonical form was already cached. Query tracing uses it to stamp the
+// tier-1 outcome on the canonicalize span without a second lookup.
+func (c *CompileCache) Lookup(spec *ltl.Expr) (*Compiled, bool) {
 	key := ltl.CanonicalKey(spec)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
 		c.ll.MoveToFront(el)
 		inc(c.m.Hits)
-		return el.Value.(*Compiled)
+		return el.Value.(*Compiled), true
 	}
 	inc(c.m.Misses)
 	e := &Compiled{Key: key, spec: spec}
@@ -145,7 +153,7 @@ func (c *CompileCache) Get(spec *ltl.Expr) *Compiled {
 		delete(c.entries, back.Value.(*Compiled).Key)
 		inc(c.m.Evictions)
 	}
-	return e
+	return e, false
 }
 
 // Len returns the number of cached entries.

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+
+	"contractdb/internal/trace"
 )
 
 // Client is a typed HTTP client for the broker server. The zero value
@@ -119,6 +121,36 @@ func (c *Client) Metrics() (MetricsResponse, error) {
 	var out MetricsResponse
 	err := c.do(http.MethodGet, "/v1/metrics", nil, &out)
 	return out, err
+}
+
+// Traces fetches the recent query traces (sampled or explicitly
+// requested), newest first.
+func (c *Client) Traces() ([]*trace.Trace, error) {
+	var out []*trace.Trace
+	err := c.do(http.MethodGet, "/v1/traces", nil, &out)
+	return out, err
+}
+
+// SlowTraces fetches the retained slow-query traces, newest first.
+func (c *Client) SlowTraces() ([]*trace.Trace, error) {
+	var out []*trace.Trace
+	err := c.do(http.MethodGet, "/v1/traces/slow", nil, &out)
+	return out, err
+}
+
+// PrometheusMetrics fetches the Prometheus text exposition from
+// GET /metrics.
+func (c *Client) PrometheusMetrics() (string, error) {
+	resp, err := c.http.Get(c.base + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return "", fmt.Errorf("server: HTTP %d", resp.StatusCode)
+	}
+	buf, err := io.ReadAll(resp.Body)
+	return string(buf), err
 }
 
 // Stats fetches database statistics.

@@ -5,7 +5,7 @@
 //
 // Endpoints:
 //
-//	GET  /v1/health              liveness and database size
+//	GET  /v1/health              liveness, database size, recovery state
 //	GET  /v1/contracts           list registered contracts
 //	GET  /v1/contracts/{name}    one contract's spec and automaton stats
 //	POST /v1/contracts           register {"name": ..., "spec": ...}
@@ -14,9 +14,20 @@
 //	POST /v1/checkpoint          force a durability checkpoint (501 without a store)
 //	GET  /v1/stats               registration/index statistics
 //	GET  /v1/metrics             per-stage query metrics (expvar-style JSON)
+//	GET  /v1/traces              recent query traces (sampled or requested)
+//	GET  /v1/traces/slow         queries that crossed the slow-query threshold
+//	GET  /metrics                Prometheus text exposition of every metric
 //
-// All request and response bodies are JSON. Registration is
-// serialized by the engine; queries run concurrently.
+// All request and response bodies are JSON (except /metrics, which
+// speaks the Prometheus text format). Registration is serialized by
+// the engine; queries run concurrently.
+//
+// Every request is assigned a request ID — the X-Request-ID header
+// when the client sends one, a generated "req-…" otherwise — echoed
+// in the response header, stamped into error envelopes and query
+// traces, and logged by the structured request log when a Logger is
+// configured. Setting "trace": true on POST /v1/query returns the
+// query's full span tree inline with the response.
 //
 // Query evaluation respects the request context: a client that
 // disconnects or times out aborts the search mid-expansion (HTTP 408
@@ -30,13 +41,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"runtime"
 	"strings"
 	"time"
 
 	"contractdb/internal/core"
 	"contractdb/internal/ltl"
 	"contractdb/internal/metrics"
+	"contractdb/internal/trace"
 )
 
 // Server wires a core.DB to an http.Handler. Create with New; the
@@ -59,11 +73,30 @@ type Server struct {
 	Checkpoint func() (uint64, error)
 	// Durability, when non-nil, is folded into /v1/metrics.
 	Durability *metrics.Durability
+	// Tracer decides which queries get a span tree and retains the
+	// finished traces for /v1/traces. New installs a default (no
+	// sampling — only the per-request "trace": true knob records), so
+	// tracing works without daemon wiring; replace it before serving to
+	// change sampling or the slow-query threshold.
+	Tracer *trace.Tracer
+	// Logger, when non-nil, receives one structured record per request
+	// (request_id, method, path, status, duration, bytes).
+	Logger *slog.Logger
+	// Recovery, when non-nil, is reported by GET /v1/health; the daemon
+	// fills it from the store's RecoveryInfo.
+	Recovery *RecoveryState
+
+	start time.Time
 }
 
 // New returns a server for the database.
 func New(db *core.DB) *Server {
-	s := &Server{db: db, mux: http.NewServeMux()}
+	s := &Server{
+		db:     db,
+		mux:    http.NewServeMux(),
+		Tracer: trace.New(trace.Config{}),
+		start:  time.Now(),
+	}
 	s.mux.HandleFunc("GET /v1/health", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/contracts", s.handleList)
 	s.mux.HandleFunc("GET /v1/contracts/{name}", s.handleGet)
@@ -73,17 +106,68 @@ func New(db *core.DB) *Server {
 	s.mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /v1/traces/slow", s.handleSlowTraces)
+	s.mux.HandleFunc("GET /metrics", s.handlePrometheus)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler: assign (or adopt) the request ID,
+// dispatch, and emit one structured log record when a Logger is set.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	id := r.Header.Get("X-Request-ID")
+	if id == "" {
+		id = trace.NewRequestID()
+	}
+	w.Header().Set("X-Request-ID", id)
+	r = r.WithContext(trace.WithRequestID(r.Context(), id))
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	start := time.Now()
+	s.mux.ServeHTTP(sw, r)
+	if s.Logger != nil {
+		s.Logger.Info("request",
+			"request_id", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"duration_us", time.Since(start).Microseconds(),
+			"bytes", sw.bytes,
+		)
+	}
+}
+
+// statusWriter captures the status code and body size for the request
+// log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+func (s *Server) uptime() float64 {
+	if s.start.IsZero() {
+		return 0
+	}
+	return time.Since(s.start).Seconds()
 }
 
 // Error is the JSON error envelope.
 type Error struct {
 	Error string `json:"error"`
+	// RequestID identifies the failed request in the structured log and
+	// trace rings.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -94,22 +178,39 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, Error{Error: err.Error()})
+func writeErr(w http.ResponseWriter, r *http.Request, status int, err error) {
+	writeJSON(w, status, Error{Error: err.Error(), RequestID: trace.RequestID(r.Context())})
 }
 
-// HealthResponse reports liveness.
+// HealthResponse reports liveness, database size, uptime, and — when
+// the server fronts a durable store — what recovery did at open.
 type HealthResponse struct {
-	Status    string `json:"status"`
-	Contracts int    `json:"contracts"`
-	Events    int    `json:"events"`
+	Status        string         `json:"status"`
+	Contracts     int            `json:"contracts"`
+	Events        int            `json:"events"`
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Recovery      *RecoveryState `json:"recovery,omitempty"`
+}
+
+// RecoveryState mirrors store.RecoveryInfo for the wire (the server
+// package does not import the store).
+type RecoveryState struct {
+	Clean            bool     `json:"clean"`
+	SnapshotSeq      uint64   `json:"snapshot_seq"`
+	SnapshotPath     string   `json:"snapshot_path,omitempty"`
+	SkippedSnapshots []string `json:"skipped_snapshots,omitempty"`
+	ReplayedRecords  int      `json:"replayed_records"`
+	TruncatedBytes   int64    `json:"truncated_bytes"`
+	DurationUS       int64    `json:"duration_us"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, HealthResponse{
-		Status:    "ok",
-		Contracts: s.db.Len(),
-		Events:    s.db.Vocabulary().Len(),
+		Status:        "ok",
+		Contracts:     s.db.Len(),
+		Events:        s.db.Vocabulary().Len(),
+		UptimeSeconds: s.uptime(),
+		Recovery:      s.Recovery,
 	})
 }
 
@@ -153,7 +254,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	c, ok := s.db.ByName(name)
 	if !ok {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("no contract named %q", name))
+		writeErr(w, r, http.StatusNotFound, fmt.Errorf("no contract named %q", name))
 		return
 	}
 	writeJSON(w, http.StatusOK, s.contractInfo(c, true))
@@ -168,11 +269,11 @@ type RegisterRequest struct {
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	var req RegisterRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	if strings.TrimSpace(req.Spec) == "" {
-		writeErr(w, http.StatusBadRequest, errors.New("spec is required"))
+		writeErr(w, r, http.StatusBadRequest, errors.New("spec is required"))
 		return
 	}
 	c, err := s.db.RegisterLTL(req.Name, req.Spec)
@@ -181,12 +282,12 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		if strings.Contains(err.Error(), "already registered") {
 			status = http.StatusConflict
 		}
-		writeErr(w, status, err)
+		writeErr(w, r, status, err)
 		return
 	}
 	if s.Persist != nil {
 		if err := s.Persist(s.db); err != nil {
-			writeErr(w, http.StatusInternalServerError, fmt.Errorf("registered but snapshot failed: %w", err))
+			writeErr(w, r, http.StatusInternalServerError, fmt.Errorf("registered but snapshot failed: %w", err))
 			return
 		}
 	}
@@ -198,17 +299,17 @@ func (s *Server) handleUnregister(w http.ResponseWriter, r *http.Request) {
 	if err := s.db.Unregister(name); err != nil {
 		switch {
 		case errors.Is(err, core.ErrNotFound):
-			writeErr(w, http.StatusNotFound, err)
+			writeErr(w, r, http.StatusNotFound, err)
 		case errors.Is(err, core.ErrDurability):
-			writeErr(w, http.StatusInternalServerError, err)
+			writeErr(w, r, http.StatusInternalServerError, err)
 		default:
-			writeErr(w, http.StatusBadRequest, err)
+			writeErr(w, r, http.StatusBadRequest, err)
 		}
 		return
 	}
 	if s.Persist != nil {
 		if err := s.Persist(s.db); err != nil {
-			writeErr(w, http.StatusInternalServerError, fmt.Errorf("unregistered but snapshot failed: %w", err))
+			writeErr(w, r, http.StatusInternalServerError, fmt.Errorf("unregistered but snapshot failed: %w", err))
 			return
 		}
 	}
@@ -222,14 +323,14 @@ type CheckpointResponse struct {
 	Boundary uint64 `json:"boundary"`
 }
 
-func (s *Server) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	if s.Checkpoint == nil {
-		writeErr(w, http.StatusNotImplemented, errors.New("no durable store configured (start ctdbd with -data-dir)"))
+		writeErr(w, r, http.StatusNotImplemented, errors.New("no durable store configured (start ctdbd with -data-dir)"))
 		return
 	}
 	boundary, err := s.Checkpoint()
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		writeErr(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, CheckpointResponse{Boundary: boundary})
@@ -250,6 +351,9 @@ type QueryRequest struct {
 	// this evaluation — measurement runs use it so reported latencies
 	// are always cold.
 	NoCache bool `json:"no_cache,omitempty"`
+	// Trace forces a full span tree for this evaluation, returned
+	// inline with the response (the explain knob).
+	Trace bool `json:"trace,omitempty"`
 }
 
 // QueryResponse lists the permitting contracts plus evaluation
@@ -263,17 +367,39 @@ type QueryResponse struct {
 	// Candidates and ElapsedUS then describe the cached serve, not a
 	// fresh scan.
 	Cached bool `json:"cached,omitempty"`
+	// RequestID echoes the request's identifier (X-Request-ID or
+	// generated).
+	RequestID string `json:"request_id,omitempty"`
+	// Trace is the evaluation's span tree, present when the request set
+	// "trace": true.
+	Trace *trace.Trace `json:"trace,omitempty"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
+	ctx := r.Context()
+	requestID := trace.RequestID(ctx)
+	if s.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.QueryTimeout)
+		defer cancel()
+	}
+	// From here every return path must Finish the trace (it may be nil;
+	// Finish on a nil trace is a no-op). Finish happens before the
+	// response is written so an inline trace is complete and immutable.
+	ctx, tr := s.Tracer.StartQuery(ctx, req.Spec, requestID, req.Trace)
+
+	_, psp := trace.StartSpan(ctx, "parse")
 	spec, err := ltl.Parse(req.Spec)
+	psp.SetError(err)
+	psp.End()
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		s.Tracer.Finish(tr)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	mode := core.Optimized
@@ -282,7 +408,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case "scan":
 		mode = core.Unoptimized
 	default:
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown mode %q", req.Mode))
+		s.Tracer.Finish(tr)
+		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("unknown mode %q", req.Mode))
 		return
 	}
 	mode.FindAny = req.FindAny
@@ -293,23 +420,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case req.StepBudget == 0:
 		mode.StepBudget = s.StepBudget
 	}
-	ctx := r.Context()
-	if s.QueryTimeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.QueryTimeout)
-		defer cancel()
-	}
 	res, err := s.db.QueryModeCtx(ctx, spec, mode)
+	s.Tracer.Finish(tr)
 	if err != nil {
 		switch {
 		case errors.Is(err, core.ErrBudgetExceeded):
-			writeErr(w, http.StatusServiceUnavailable, err)
+			writeErr(w, r, http.StatusServiceUnavailable, err)
 		case errors.Is(err, core.ErrCanceled):
 			// If the client is gone the write is moot; for a server-side
 			// timeout it reports why the query was cut short.
-			writeErr(w, http.StatusRequestTimeout, err)
+			writeErr(w, r, http.StatusRequestTimeout, err)
 		default:
-			writeErr(w, http.StatusBadRequest, err)
+			writeErr(w, r, http.StatusBadRequest, err)
 		}
 		return
 	}
@@ -319,11 +441,31 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Candidates: res.Stats.Candidates,
 		ElapsedUS:  res.Stats.Elapsed().Microseconds(),
 		Cached:     res.Stats.CacheHit,
+		RequestID:  requestID,
+	}
+	if req.Trace {
+		out.Trace = tr
 	}
 	for _, c := range res.Matches {
 		out.Matches = append(out.Matches, c.Name)
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
+	traces := s.Tracer.Recent()
+	if traces == nil {
+		traces = []*trace.Trace{}
+	}
+	writeJSON(w, http.StatusOK, traces)
+}
+
+func (s *Server) handleSlowTraces(w http.ResponseWriter, _ *http.Request) {
+	traces := s.Tracer.Slow()
+	if traces == nil {
+		traces = []*trace.Trace{}
+	}
+	writeJSON(w, http.StatusOK, traces)
 }
 
 // StatsResponse mirrors core.RegistrationStats for the wire.
@@ -360,11 +502,20 @@ type MetricsResponse struct {
 	VocabularyEvents int                   `json:"vocabulary_events"`
 	ProjectionRows   int                   `json:"projection_rows"`
 	IndexNodes       int                   `json:"index_nodes"`
+	UptimeSeconds    float64               `json:"uptime_seconds"`
+	Build            BuildInfo             `json:"build"`
 	Queries          metrics.QuerySnapshot `json:"queries"`
 	Caches           CacheMetrics          `json:"caches"`
 	// Durability is present only when the server fronts a durable
 	// store (WAL + checkpoints).
 	Durability *metrics.DurabilitySnapshot `json:"durability,omitempty"`
+}
+
+// BuildInfo identifies the serving binary: the Go toolchain it was
+// built with and the snapshot format it writes.
+type BuildInfo struct {
+	GoVersion             string `json:"go_version"`
+	SnapshotFormatVersion int    `json:"snapshot_format_version"`
 }
 
 // CacheMetrics reports the query caches' occupancy gauges and the
@@ -391,7 +542,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		VocabularyEvents: s.db.Vocabulary().Len(),
 		ProjectionRows:   st.Registration.ProjectionRows,
 		IndexNodes:       st.Registration.IndexNodes,
-		Queries:          st.Queries,
+		UptimeSeconds:    s.uptime(),
+		Build: BuildInfo{
+			GoVersion:             runtime.Version(),
+			SnapshotFormatVersion: core.SnapshotFormatVersion(),
+		},
+		Queries: st.Queries,
 		Caches: CacheMetrics{
 			Epoch:          st.Caches.Epoch,
 			QueryCacheLen:  st.Caches.QueryCacheLen,
@@ -400,6 +556,27 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			ResultCacheCap: st.Caches.ResultCacheCap,
 		},
 	})
+}
+
+// handlePrometheus serves GET /metrics: the whole metrics surface —
+// registration gauges, every query counter and histogram, durability
+// (when configured) and process runtime — in the Prometheus text
+// exposition format.
+func (s *Server) handlePrometheus(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	st := s.db.Stats()
+	p := metrics.NewPromWriter(w)
+	p.Gauge("ctdb_contracts", "Registered contracts.", float64(st.Registration.Contracts))
+	p.Gauge("ctdb_vocabulary_events", "Distinct event names in the vocabulary.", float64(s.db.Vocabulary().Len()))
+	p.Gauge("ctdb_index_nodes", "Prefilter index nodes.", float64(st.Registration.IndexNodes))
+	p.Gauge("ctdb_query_cache_entries", "Tier-1 compilation cache occupancy.", float64(st.Caches.QueryCacheLen))
+	p.Gauge("ctdb_result_cache_entries", "Tier-2 result cache occupancy.", float64(st.Caches.ResultCacheLen))
+	p.Gauge("ctdb_uptime_seconds", "Seconds since the server started.", s.uptime())
+	p.WriteQuery(st.Queries)
+	if s.Durability != nil {
+		p.WriteDurability(s.Durability.Snapshot())
+	}
+	p.WriteRuntime()
 }
 
 func decodeBody(r *http.Request, v any) error {

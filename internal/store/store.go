@@ -33,6 +33,7 @@
 package store
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -44,6 +45,7 @@ import (
 
 	"contractdb/internal/core"
 	"contractdb/internal/metrics"
+	"contractdb/internal/trace"
 	"contractdb/internal/vocab"
 	"contractdb/internal/wal"
 )
@@ -91,6 +93,9 @@ type Config struct {
 	// Metrics receives durability counters; a fresh registry is created
 	// when nil.
 	Metrics *metrics.Durability
+	// Tracer, when non-nil, records a span tree for recovery (at Open)
+	// and for every checkpoint; nil disables storage tracing.
+	Tracer *trace.Tracer
 	// Logf, when non-nil, receives operational log lines (background
 	// checkpoint failures and recovery notes).
 	Logf func(format string, args ...any)
@@ -192,6 +197,10 @@ func listSnapshots(dir string) ([]snapshotFile, error) {
 // applies.
 func Open(dir string, cfg Config) (*Store, error) {
 	start := time.Now()
+	// The recovery trace is always retained (Start bypasses sampling);
+	// a failed open still finishes it, recording how far recovery got.
+	rctx, rtr := cfg.Tracer.Start(context.Background(), "recovery")
+	defer cfg.Tracer.Finish(rtr)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
@@ -213,6 +222,7 @@ func Open(dir string, cfg Config) (*Store, error) {
 	var info RecoveryInfo
 	var db *core.DB
 	boundary := uint64(1)
+	_, lsp := trace.StartSpan(rctx, "load_snapshot")
 	for _, sn := range snaps {
 		f, err := os.Open(sn.path)
 		if err != nil {
@@ -234,6 +244,14 @@ func Open(dir string, cfg Config) (*Store, error) {
 		info.SnapshotPath = sn.path
 		break
 	}
+	if lsp != nil {
+		lsp.SetAttr("boundary", boundary)
+		lsp.SetAttr("skipped", len(info.SkippedSnapshots))
+		if info.SnapshotPath != "" {
+			lsp.SetAttr("path", filepath.Base(info.SnapshotPath))
+		}
+	}
+	lsp.End()
 	fresh := false
 	if db == nil {
 		if len(snaps) > 0 {
@@ -250,6 +268,7 @@ func Open(dir string, cfg Config) (*Store, error) {
 		fresh = true
 	}
 
+	_, osp := trace.StartSpan(rctx, "wal_open")
 	w, err := wal.Open(filepath.Join(dir, "wal"), wal.Options{
 		SegmentBytes: cfg.SegmentBytes,
 		Sync:         cfg.Sync,
@@ -257,9 +276,16 @@ func Open(dir string, cfg Config) (*Store, error) {
 		StartSeq:     boundary,
 		Metrics:      met,
 	})
+	osp.SetError(err)
 	if err != nil {
+		osp.End()
 		return nil, fmt.Errorf("store: %w", err)
 	}
+	if osp != nil {
+		osp.SetAttr("segments", w.SegmentCount())
+		osp.SetAttr("truncated_bytes", w.TruncatedBytes)
+	}
+	osp.End()
 	ok := false
 	defer func() {
 		if !ok {
@@ -279,7 +305,8 @@ func Open(dir string, cfg Config) (*Store, error) {
 	}
 
 	replayed := 0
-	err = w.Replay(boundary, func(r wal.Record) error {
+	pctx, psp := trace.StartSpan(rctx, "wal_replay")
+	err = w.ReplayCtx(pctx, boundary, func(r wal.Record) error {
 		switch r.Type {
 		case recordRegister:
 			if err := db.ApplyRegistration(r.Data); err != nil {
@@ -295,6 +322,11 @@ func Open(dir string, cfg Config) (*Store, error) {
 		replayed++
 		return nil
 	})
+	if psp != nil {
+		psp.SetAttr("replayed", replayed)
+	}
+	psp.SetError(err)
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -407,19 +439,36 @@ func (s *Store) Checkpoint() (uint64, error) {
 // checkpoint is Checkpoint without the closed guard; Close uses it for
 // the final flush. Callers hold ckptMu.
 func (s *Store) checkpoint() (uint64, error) {
+	ctx, tr := s.cfg.Tracer.Start(context.Background(), "checkpoint")
+	defer s.cfg.Tracer.Finish(tr)
+	root := trace.SpanFrom(ctx)
+
+	_, ssp := trace.StartSpan(ctx, "seal")
 	boundary, err := s.log.Seal()
+	ssp.SetError(err)
+	ssp.End()
 	if err != nil {
 		return 0, err
+	}
+	if root != nil {
+		root.SetAttr("boundary", boundary)
 	}
 	s.mu.Lock()
 	last := s.lastBoundary
 	s.mu.Unlock()
 	if boundary == last {
+		if root != nil {
+			root.SetAttr("noop", true)
+		}
 		return boundary, nil // nothing new to cover
 	}
 
 	start := time.Now()
-	if err := s.writeSnapshot(boundary); err != nil {
+	_, wsp := trace.StartSpan(ctx, "snapshot")
+	err = s.writeSnapshot(boundary)
+	wsp.SetError(err)
+	wsp.End()
+	if err != nil {
 		return 0, err
 	}
 	s.met.CheckpointWrite.Observe(time.Since(start))
@@ -433,7 +482,11 @@ func (s *Store) checkpoint() (uint64, error) {
 	s.sinceRecords, s.sinceBytes = 0, 0
 	s.mu.Unlock()
 
-	if err := s.prune(); err != nil {
+	_, psp := trace.StartSpan(ctx, "prune")
+	err = s.prune()
+	psp.SetError(err)
+	psp.End()
+	if err != nil {
 		return boundary, err
 	}
 	return boundary, nil

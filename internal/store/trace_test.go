@@ -1,0 +1,89 @@
+package store_test
+
+import (
+	"testing"
+
+	"contractdb/internal/datagen"
+	"contractdb/internal/store"
+	"contractdb/internal/trace"
+)
+
+// findTrace returns the newest retained trace with the given name.
+func findTrace(traces []*trace.Trace, name string) *trace.Trace {
+	for i := len(traces) - 1; i >= 0; i-- {
+		if traces[i].Name == name {
+			return traces[i]
+		}
+	}
+	return nil
+}
+
+func childNames(tr *trace.Trace) map[string]bool {
+	names := map[string]bool{}
+	if tr == nil || tr.Root == nil {
+		return names
+	}
+	for _, c := range tr.Root.Children {
+		names[c.Name] = true
+	}
+	return names
+}
+
+// TestRecoveryAndCheckpointTraces: a store wired with a tracer retains
+// one trace per recovery and per checkpoint, with the per-stage spans
+// an operator needs to see where startup time went.
+func TestRecoveryAndCheckpointTraces(t *testing.T) {
+	dir := t.TempDir()
+	tracer := trace.New(trace.Config{})
+	st := openStore(t, dir, store.Config{Events: events(), Tracer: tracer})
+	gen := datagen.New(datagen.NewVocabulary(), 7)
+	for st.DB().Len() < 1 {
+		if _, err := st.DB().Register("A", gen.Specification(2)); err != nil {
+			continue // unsatisfiable draw; redraw
+		}
+	}
+	if _, err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := findTrace(tracer.Recent(), "recovery")
+	if rec == nil {
+		t.Fatal("no recovery trace retained after Open")
+	}
+	stages := childNames(rec)
+	for _, want := range []string{"load_snapshot", "wal_open", "wal_replay"} {
+		if !stages[want] {
+			t.Errorf("recovery trace lacks %q span (has %v)", want, stages)
+		}
+	}
+
+	cp := findTrace(tracer.Recent(), "checkpoint")
+	if cp == nil {
+		t.Fatal("no checkpoint trace retained")
+	}
+	stages = childNames(cp)
+	for _, want := range []string{"seal", "snapshot", "prune"} {
+		if !stages[want] {
+			t.Errorf("checkpoint trace lacks %q span (has %v)", want, stages)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A dirty-ish reopen (snapshot + replayable WAL state) still traces
+	// recovery; the replay span carries per-segment children when there
+	// is anything to replay.
+	tracer2 := trace.New(trace.Config{})
+	st2 := openStore(t, dir, store.Config{Tracer: tracer2})
+	if got := st2.DB().Len(); got != 1 {
+		t.Fatalf("recovered %d contracts, want 1", got)
+	}
+	rec2 := findTrace(tracer2.Recent(), "recovery")
+	if rec2 == nil {
+		t.Fatal("no recovery trace on reopen")
+	}
+	if rec2.DurUS < 0 {
+		t.Errorf("recovery trace has negative duration %d", rec2.DurUS)
+	}
+}

@@ -33,6 +33,7 @@
 package wal
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -45,6 +46,7 @@ import (
 	"time"
 
 	"contractdb/internal/metrics"
+	"contractdb/internal/trace"
 )
 
 const (
@@ -610,6 +612,15 @@ func (l *Log) PruneBelow(keep uint64) (int, error) {
 // concurrently with appends; recovery calls it before the log is
 // handed to writers.
 func (l *Log) Replay(from uint64, fn func(Record) error) error {
+	return l.ReplayCtx(context.Background(), from, fn)
+}
+
+// ReplayCtx is Replay under a context: when the context carries an
+// active trace span (the store's recovery trace), each segment read
+// gets a child span recording the file and the records it contributed.
+// The context is not consulted for cancellation — replay either
+// completes or the open fails.
+func (l *Log) ReplayCtx(ctx context.Context, from uint64, fn func(Record) error) error {
 	l.mu.Lock()
 	segs := append([]segment(nil), l.segs...)
 	l.mu.Unlock()
@@ -617,23 +628,39 @@ func (l *Log) Replay(from uint64, fn func(Record) error) error {
 		if seg.empty() || seg.last < from {
 			continue
 		}
-		data, err := os.ReadFile(seg.path)
-		if err != nil {
-			return fmt.Errorf("wal: replay: %w", err)
+		_, sp := trace.StartSpan(ctx, "segment")
+		if sp != nil {
+			sp.SetAttr("path", filepath.Base(seg.path))
+			sp.SetAttr("first", seg.first)
+			sp.SetAttr("last", seg.last)
 		}
-		off := headerSize
-		for seq := seg.first; seq <= seg.last; seq++ {
-			rec, n, err := parseFrame(data[off:], seq)
-			if err != nil {
-				return &CorruptionError{Segment: seg.path, Offset: int64(off), Reason: err.Error()}
-			}
-			off += n
-			if seq < from {
-				continue
-			}
-			if err := fn(rec); err != nil {
-				return err
-			}
+		err := l.replaySegment(seg, from, fn)
+		sp.SetError(err)
+		sp.End()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (l *Log) replaySegment(seg segment, from uint64, fn func(Record) error) error {
+	data, err := os.ReadFile(seg.path)
+	if err != nil {
+		return fmt.Errorf("wal: replay: %w", err)
+	}
+	off := headerSize
+	for seq := seg.first; seq <= seg.last; seq++ {
+		rec, n, err := parseFrame(data[off:], seq)
+		if err != nil {
+			return &CorruptionError{Segment: seg.path, Offset: int64(off), Reason: err.Error()}
+		}
+		off += n
+		if seq < from {
+			continue
+		}
+		if err := fn(rec); err != nil {
+			return err
 		}
 	}
 	return nil
