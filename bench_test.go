@@ -120,6 +120,25 @@ func BenchmarkFig5Parallel(b *testing.B) {
 	}
 }
 
+// BenchmarkFig5Sharded sweeps the scatter-gather router over shard
+// counts on the Fig. 5 optimized workload at the largest database
+// size. The idle shards=N sub-benches price the router itself:
+// shards=1 vs BenchmarkFig5Optimized/contracts=500 is the scatter,
+// merge, and goroutine-hop overhead, and the sweep shows fan-out
+// scaling on a quiescent corpus. The shards=N/churn sub-benches are
+// the write-contended regime sharding exists for: each op runs the
+// same cold query with a fixed batch of register/unregister pairs
+// concurrently in flight, so every unregister's prefilter rebuild
+// stalls either the whole corpus (unsharded) or ~1/N of it.
+func BenchmarkFig5Sharded(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), benchkit.Fig5Sharded(500, shards))
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d/churn", shards), benchkit.RegisterChurn(500, shards))
+	}
+}
+
 // BenchmarkFindAny measures the early-exit mode against collecting the
 // full match set on the same workload.
 func BenchmarkFindAny(b *testing.B) {

@@ -8,8 +8,11 @@
 //	go run ./cmd/benchjson -out BENCH_PR4.json
 //	go run ./cmd/benchjson -baseline BENCH_PR4.json
 //
-// The -baseline mode exits non-zero when a Fig5Optimized bench's
-// allocs/op regresses past the baseline by more than -tolerance.
+// The -baseline mode exits non-zero when a Fig5Optimized or
+// Fig5Sharded bench's allocs/op regresses past the baseline by more
+// than -tolerance (the /churn variants are excluded — their ops
+// include a registration writer whose allocations are workload, not
+// query cost).
 // Allocation counts are deterministic across machines (unlike ns/op),
 // which is what makes them enforceable in CI.
 package main
@@ -56,6 +59,16 @@ func main() {
 	var benches []bench
 	for _, size := range []int{50, 100, 200, 400, 500} {
 		benches = append(benches, bench{fmt.Sprintf("Fig5Optimized/contracts=%d", size), benchkit.Fig5Optimized(size)})
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		benches = append(benches, bench{fmt.Sprintf("Fig5Sharded/shards=%d", shards), benchkit.Fig5Sharded(500, shards)})
+	}
+	for _, shards := range []int{1, 4} {
+		// Churn benches time a query with a fixed batch of
+		// register/unregister pairs concurrently in flight; the writer's
+		// translation allocations land in the op, so these are reported
+		// for the trajectory but excluded from the allocs gate.
+		benches = append(benches, bench{fmt.Sprintf("Fig5Sharded/shards=%d/churn", shards), benchkit.RegisterChurn(500, shards)})
 	}
 	for _, cc := range datagen.ContractClasses() {
 		for _, qc := range datagen.QueryClasses() {
@@ -114,9 +127,9 @@ func main() {
 }
 
 // checkBaseline enforces the allocation budget: every Fig5Optimized
-// bench present in both reports must not exceed the baseline's
-// allocs/op by more than the tolerance (plus a small absolute slack so
-// tiny counts don't flake).
+// and Fig5Sharded bench present in both reports — churn variants
+// aside — must not exceed the baseline's allocs/op by more than the
+// tolerance (plus a small absolute slack so tiny counts don't flake).
 func checkBaseline(cur report, path string, tol float64) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -132,7 +145,10 @@ func checkBaseline(cur report, path string, tol float64) error {
 	}
 	checked := 0
 	for _, r := range cur.Results {
-		if !strings.HasPrefix(r.Name, "Fig5Optimized") {
+		if !strings.HasPrefix(r.Name, "Fig5Optimized") && !strings.HasPrefix(r.Name, "Fig5Sharded") {
+			continue
+		}
+		if strings.HasSuffix(r.Name, "/churn") {
 			continue
 		}
 		b, ok := byName[r.Name]
@@ -147,7 +163,7 @@ func checkBaseline(cur report, path string, tol float64) error {
 		}
 	}
 	if checked == 0 {
-		return fmt.Errorf("no Fig5Optimized benches matched %s; baseline check is vacuous", path)
+		return fmt.Errorf("no Fig5Optimized/Fig5Sharded benches matched %s; baseline check is vacuous", path)
 	}
 	return nil
 }

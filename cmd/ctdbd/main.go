@@ -9,6 +9,12 @@
 //
 //	ctdbd -data-dir /var/lib/ctdb -addr :8080 [-fsync always] [-events p1,p2,...]
 //
+// With -shards N (N > 1) the database is partitioned across N
+// in-process shards behind a scatter-gather router: registrations hash
+// to a shard by contract name, queries fan out and merge. The WAL and
+// snapshots are shard-count-agnostic, so the same -data-dir can reopen
+// under a different -shards value (including back to unsharded).
+//
 // The legacy single-file mode re-saves a whole snapshot after every
 // registration (simple, but O(database) per write and unregistered
 // ops between save and crash are lost):
@@ -53,6 +59,15 @@ import (
 	"contractdb/internal/wal"
 )
 
+// engine is what ctdbd needs from the database it serves: the
+// server's surface plus the tuning setters. Both the unsharded
+// *core.DB and the sharded *shard.DB qualify.
+type engine interface {
+	server.DB
+	SetParallelism(n int)
+	SetCacheSizes(queryCache, resultCache int)
+}
+
 func main() {
 	dataDir := flag.String("data-dir", "", "durable data directory: write-ahead log + snapshots (recommended)")
 	dbPath := flag.String("db", "", "legacy single-snapshot file, re-saved after every registration")
@@ -61,6 +76,7 @@ func main() {
 	fsync := flag.String("fsync", "always", "WAL fsync policy: always | interval | never")
 	fsyncInterval := flag.Duration("fsync-interval", wal.DefaultSyncInterval, "flush period under -fsync interval")
 	checkpointEvery := flag.Int("checkpoint-every", store.DefaultCheckpointRecords, "auto-checkpoint after this many logged operations (negative disables)")
+	shards := flag.Int("shards", 0, "partition the database across this many scatter-gather shards (0 or 1 = unsharded; requires -data-dir)")
 	parallelism := flag.Int("parallelism", 0, "query worker-pool width (0 = GOMAXPROCS, 1 = sequential)")
 	queryTimeout := flag.Duration("query-timeout", 0, "server-side deadline per query evaluation (0 = none)")
 	stepBudget := flag.Int("step-budget", 0, "default kernel step budget per candidate check (0 = unlimited)")
@@ -99,22 +115,34 @@ func main() {
 	})
 
 	var (
-		db      *core.DB
+		db      engine
 		st      *store.Store
-		persist func(*core.DB) error
+		persist func() error
 	)
 	if *dataDir != "" {
-		st, err = openStore(*dataDir, *events, *fsync, *fsyncInterval, *checkpointEvery, tracer)
+		st, err = openStore(*dataDir, *events, *fsync, *fsyncInterval, *checkpointEvery, *shards, tracer)
 		if err != nil {
 			log.Fatalf("ctdbd: %v", err)
 		}
-		db = st.DB()
+		// The store decides which engine actually serves: a sharded
+		// config — or a sharded snapshot found by an unsharded one —
+		// yields the router.
+		if r := st.Router(); r != nil {
+			db = r
+		} else {
+			db = st.DB()
+		}
 	} else {
-		db, err = openOrCreate(*dbPath, *events)
+		if *shards > 1 {
+			fmt.Fprintln(os.Stderr, "ctdbd: -shards requires -data-dir (the legacy -db snapshot is unsharded)")
+			os.Exit(2)
+		}
+		cdb, err := openOrCreate(*dbPath, *events)
 		if err != nil {
 			log.Fatalf("ctdbd: %v", err)
 		}
-		persist = func(db *core.DB) error { return save(db, *dbPath) }
+		db = cdb
+		persist = func() error { return save(cdb, *dbPath) }
 	}
 
 	if *parallelism > 0 {
@@ -207,7 +235,7 @@ func recoveryState(r store.RecoveryInfo) *server.RecoveryState {
 	}
 }
 
-func openStore(dir, events, fsync string, fsyncInterval time.Duration, checkpointEvery int, tracer *trace.Tracer) (*store.Store, error) {
+func openStore(dir, events, fsync string, fsyncInterval time.Duration, checkpointEvery, shards int, tracer *trace.Tracer) (*store.Store, error) {
 	policy, err := wal.ParseSyncPolicy(fsync)
 	if err != nil {
 		return nil, err
@@ -218,6 +246,7 @@ func openStore(dir, events, fsync string, fsyncInterval time.Duration, checkpoin
 	}
 	st, err := store.Open(dir, store.Config{
 		Events:            names,
+		Shards:            shards,
 		Sync:              policy,
 		SyncInterval:      fsyncInterval,
 		CheckpointRecords: checkpointEvery,
@@ -228,14 +257,22 @@ func openStore(dir, events, fsync string, fsyncInterval time.Duration, checkpoin
 	if err != nil {
 		return nil, err
 	}
+	n := 0
+	layout := "unsharded"
+	if r := st.Router(); r != nil {
+		n = r.Len()
+		layout = fmt.Sprintf("%d shards", r.NumShards())
+	} else {
+		n = st.DB().Len()
+	}
 	r := st.Recovery
 	switch {
 	case r.Clean:
-		log.Printf("ctdbd: recovered %s clean: %d contracts from %s in %s",
-			dir, st.DB().Len(), orFresh(r.SnapshotPath), r.Duration)
+		log.Printf("ctdbd: recovered %s clean: %d contracts (%s) from %s in %s",
+			dir, n, layout, orFresh(r.SnapshotPath), r.Duration)
 	default:
-		log.Printf("ctdbd: recovered %s: %d contracts (snapshot %s + %d replayed ops, %d torn bytes truncated, %d snapshots skipped) in %s",
-			dir, st.DB().Len(), orFresh(r.SnapshotPath), r.ReplayedRecords, r.TruncatedBytes, len(r.SkippedSnapshots), r.Duration)
+		log.Printf("ctdbd: recovered %s: %d contracts (%s; snapshot %s + %d replayed ops, %d torn bytes truncated, %d snapshots skipped) in %s",
+			dir, n, layout, orFresh(r.SnapshotPath), r.ReplayedRecords, r.TruncatedBytes, len(r.SkippedSnapshots), r.Duration)
 	}
 	return st, nil
 }

@@ -131,6 +131,12 @@ func Fig6(cc, qc datagen.Class) func(*testing.B) {
 	}
 }
 
+// queryable is the query surface warm needs; both *core.DB and the
+// sharded *shard.DB satisfy it.
+type queryable interface {
+	QueryMode(spec *ltl.Expr, mode core.Mode) (*core.Result, error)
+}
+
 // warm runs every query of the mix once before the clock starts.
 // Projection-quotient selection compiles lazily per (contract, query
 // vocabulary), so without this the first measured visit of each query
@@ -138,7 +144,7 @@ func Fig6(cc, qc datagen.Class) func(*testing.B) {
 // harness's iteration count — which made allocs/op non-deterministic
 // run to run. After the warmup the measured loop is pure steady-state
 // evaluation.
-func warm(b *testing.B, db *core.DB, queries []*ltl.Expr, mode core.Mode) {
+func warm(b *testing.B, db queryable, queries []*ltl.Expr, mode core.Mode) {
 	b.Helper()
 	for _, q := range queries {
 		if _, err := db.QueryMode(q, mode); err != nil {

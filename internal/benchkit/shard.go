@@ -1,0 +1,131 @@
+package benchkit
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"contractdb/internal/core"
+	"contractdb/internal/datagen"
+	"contractdb/internal/shard"
+)
+
+var (
+	sdbMu sync.Mutex
+	sdbs  = map[string]*shard.DB{}
+)
+
+// ShardedDB returns a populated sharded benchmark database, cached per
+// (class, size, shards). The corpus is identical to DB's for the same
+// class and size — same seed, same rejection rules — only the
+// placement differs, so sharded and unsharded benches measure the same
+// workload.
+func ShardedDB(tb testing.TB, class datagen.Class, size, shards int) *shard.DB {
+	tb.Helper()
+	sdbMu.Lock()
+	defer sdbMu.Unlock()
+	key := fmt.Sprintf("%s/%d/%d", class.Name, size, shards)
+	if db, ok := sdbs[key]; ok {
+		return db
+	}
+	voc := datagen.NewVocabulary()
+	db, err := shard.New(voc, core.Options{MaxAutomatonStates: 300}, shards)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	gen := datagen.New(voc, 1)
+	for db.Len() < size {
+		if _, err := db.Register("", gen.Specification(class.Properties)); err != nil {
+			continue
+		}
+	}
+	sdbs[key] = db
+	return db
+}
+
+// Fig5Sharded is the Fig5Optimized workload routed through the
+// scatter-gather engine at the given shard count: same corpus, same
+// query mix, same mode, cold every iteration. shards=1 prices the
+// router's own overhead (scatter, merge, one extra goroutine hop)
+// against Fig5Optimized; higher counts show how the fan-out scales on
+// an idle database.
+func Fig5Sharded(size, shards int) func(*testing.B) {
+	return func(b *testing.B) {
+		db := ShardedDB(b, datagen.SimpleContracts, size, shards)
+		queries := Queries(b, db.Vocabulary(), 3)
+		mode := core.Mode{Prefilter: true, Bisim: true, Algorithm: core.AlgorithmNestedDFS, NoCache: true}
+		warm(b, db, queries, mode)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q := queries[i%len(queries)]
+			if _, err := db.QueryMode(q, mode); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// ChurnPairs is the write load accompanying every measured query in
+// RegisterChurn: register/unregister pairs issued concurrently with
+// each query. Fixing the write *work* per op — rather than a
+// wall-clock rate — is what keeps the shard sweep apples-to-apples:
+// the unsharded engine cannot sustain any interesting fixed rate (a
+// pending writer waits out a full corpus-wide query per lock
+// acquisition), and a flat-out writer self-balances (it simply churns
+// ~N× more often on an N-shard database, consuming a similar CPU
+// share). With the work per op pinned, the only variable left is how
+// much of the corpus each write stalls.
+const ChurnPairs = 12
+
+// RegisterChurn measures cold-query latency while registration is
+// concurrently in flight: every op runs one Fig5-opt query while a
+// background goroutine drives ChurnPairs register/unregister pairs
+// into the same database, and the op ends when both finish. Each
+// unregister rebuilds its shard's prefilter index under that shard's
+// write lock: unsharded, the rebuild covers the whole corpus and every
+// reader waits behind it; at N shards it is ~N× smaller and stalls
+// only probes of the churned shard. The churn generator is re-seeded
+// every op so the write load is identical across ops and shard counts.
+// Achieved write throughput is reported as churn-pairs/s.
+func RegisterChurn(size, shards int) func(*testing.B) {
+	return func(b *testing.B) {
+		db := ShardedDB(b, datagen.SimpleContracts, size, shards)
+		queries := Queries(b, db.Vocabulary(), 3)
+		mode := core.Mode{Prefilter: true, Bisim: true, Algorithm: core.AlgorithmNestedDFS, NoCache: true}
+		warm(b, db, queries, mode)
+
+		var pairs atomic.Int64
+		start := time.Now()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				g := datagen.New(db.Vocabulary(), 123)
+				for k := 0; k < ChurnPairs; k++ {
+					name := fmt.Sprintf("churn-%d", k)
+					if _, err := db.Register(name, g.Specification(2)); err != nil {
+						continue
+					}
+					if err := db.Unregister(name); err != nil {
+						b.Error(err)
+						return
+					}
+					pairs.Add(1)
+				}
+			}()
+			q := queries[i%len(queries)]
+			if _, err := db.QueryMode(q, mode); err != nil {
+				b.Fatal(err)
+			}
+			<-done
+		}
+		b.StopTimer()
+		if sec := time.Since(start).Seconds(); sec > 0 {
+			b.ReportMetric(float64(pairs.Load())/sec, "churn-pairs/s")
+		}
+	}
+}

@@ -364,6 +364,14 @@ func (db *DB) SetParallelism(n int) {
 // Vocabulary returns the database's shared event vocabulary.
 func (db *DB) Vocabulary() *vocab.Vocabulary { return db.voc }
 
+// Options returns the database's registration options as currently in
+// effect (SetCacheSizes and SetParallelism mutate them).
+func (db *DB) Options() Options {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.opts
+}
+
 // Len returns the number of registered contracts.
 func (db *DB) Len() int {
 	db.mu.RLock()
@@ -397,16 +405,25 @@ func (db *DB) ByName(name string) (*Contract, bool) {
 // to the log before it becomes visible; a log failure rejects the
 // registration with ErrDurability.
 func (db *DB) Register(name string, spec *ltl.Expr) (*Contract, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	start := time.Now()
+	// Claim the name first (minting a generated one consumes the
+	// counter even if translation then fails — the sharded router's
+	// global minting mirrors exactly this), capture the options, and
+	// release the lock: translation and projection precompute are the
+	// expensive parts of registration — milliseconds against the index
+	// insert's microseconds — and holding the write lock through them
+	// would stall every concurrent query for the whole duration.
+	db.mu.Lock()
 	if name == "" {
 		name = db.nextAutoName()
-	}
-	if _, dup := db.byName[name]; dup {
+	} else if _, dup := db.byName[name]; dup {
+		db.mu.Unlock()
 		return nil, fmt.Errorf("core: contract %q already registered", name)
 	}
-	auto, err := ltl2ba.TranslateBounded(db.voc, spec, db.opts.MaxAutomatonStates)
+	maxStates := db.opts.MaxAutomatonStates
+	db.mu.Unlock()
+
+	auto, err := ltl2ba.TranslateBounded(db.voc, spec, maxStates)
 	if err != nil {
 		return nil, fmt.Errorf("core: contract %q: %w", name, err)
 	}
@@ -414,7 +431,6 @@ func (db *DB) Register(name string, spec *ltl.Expr) (*Contract, error) {
 		return nil, fmt.Errorf("core: contract %q allows no behavior (unsatisfiable specification)", name)
 	}
 	c := &Contract{
-		ID:      ContractID(len(db.contracts)),
 		Name:    name,
 		Spec:    spec,
 		auto:    auto,
@@ -422,7 +438,17 @@ func (db *DB) Register(name string, spec *ltl.Expr) (*Contract, error) {
 	}
 	t := time.Now()
 	c.projections = bisim.Precompute(auto, db.effectiveBudget(auto))
-	db.projectionTime += time.Since(t)
+	projElapsed := time.Since(t)
+
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	// Re-check: an explicit name can race another registration in the
+	// unlocked window (a minted name cannot — the counter is claimed).
+	if _, dup := db.byName[name]; dup {
+		return nil, fmt.Errorf("core: contract %q already registered", name)
+	}
+	c.ID = ContractID(len(db.contracts))
+	db.projectionTime += projElapsed
 
 	if err := db.logRegisterLocked(c); err != nil {
 		return nil, fmt.Errorf("core: contract %q: %w", name, err)

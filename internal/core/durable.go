@@ -48,6 +48,48 @@ func (db *DB) encodeRegistration(c *Contract) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
+// RegistrationName peeks at the contract name inside an encoded
+// registration record without installing it. The sharded router uses
+// it to place replayed WAL records on the owning shard.
+func RegistrationName(data []byte) (string, error) {
+	var rec registrationRecord
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&rec); err != nil {
+		return "", fmt.Errorf("core: registration record: %w", err)
+	}
+	if rec.Contract.Name == "" {
+		return "", fmt.Errorf("core: registration record has no contract name")
+	}
+	return rec.Contract.Name, nil
+}
+
+// RegistrationExport is one contract re-encoded as a registration
+// record: the same bytes ApplyRegistration accepts. The sharded
+// engine's snapshot format is a list of these, which keeps snapshots
+// independent of the shard count they were written under.
+type RegistrationExport struct {
+	Name   string
+	Record []byte
+}
+
+// ExportRegistrations re-encodes every contract as a registration
+// record, in id order, under one read lock. Each record carries the
+// full vocabulary as of the export (a superset of the vocabulary at
+// original registration), which ApplyRegistration accepts: interning
+// the names in order reproduces the same id assignment.
+func (db *DB) ExportRegistrations() ([]RegistrationExport, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]RegistrationExport, 0, len(db.contracts))
+	for _, c := range db.contracts {
+		enc, err := db.encodeRegistration(c)
+		if err != nil {
+			return nil, fmt.Errorf("core: export %q: %w", c.Name, err)
+		}
+		out = append(out, RegistrationExport{Name: c.Name, Record: enc})
+	}
+	return out, nil
+}
+
 // ApplyRegistration installs a contract from a log record produced by
 // the Register path. It is the replay half of the write-ahead
 // protocol: it validates like Load, never logs, and is idempotent — a

@@ -111,26 +111,8 @@ func (db *DB) evalQuery(ctx context.Context, spec *ltl.Expr, mode Mode, obligati
 		csp.End()
 		if db.results != nil {
 			resKey = resultCacheKey(compiled.Key, mode, obligation)
-			_, rsp := trace.StartSpan(ctx, "result_cache")
-			v, ok := db.results.Get(resKey, db.epoch)
-			if rsp != nil {
-				rsp.SetAttr("hit", ok)
-			}
-			rsp.End()
-			if ok {
-				cr := v.(*cachedResult)
-				st := cr.stats
-				st.Translate, st.Filter, st.Check, st.ProjPick = 0, 0, 0, 0
-				st.Checked = 0
-				st.Permission = permission.Stats{}
-				st.CacheHit = true
-				db.metrics.CachedServe.Observe(time.Since(start))
-				db.metrics.Permitted.Add(int64(len(cr.matches)))
-				if root := trace.SpanFrom(ctx); root != nil {
-					root.SetAttr("cached", true)
-					root.SetAttr("matched", len(cr.matches))
-				}
-				return &Result{Matches: append([]*Contract(nil), cr.matches...), Stats: st}, nil
+			if res, ok := db.serveCachedLocked(ctx, resKey, start); ok {
+				return res, nil
 			}
 		}
 	}
@@ -162,9 +144,65 @@ func (db *DB) evalQuery(ctx context.Context, spec *ltl.Expr, mode Mode, obligati
 	stats.Translate = time.Since(t)
 	db.metrics.Translate.Observe(stats.Translate)
 
+	candidates := db.prefilterLocked(ctx, qa, mode, obligation, &stats)
+
+	sctx, ssp := trace.StartSpan(ctx, "scan")
+	res, err := db.finishQuery(sctx, qa, candidates, mode, obligation, &stats)
+	if ssp != nil {
+		ssp.SetAttr("checked", stats.Checked)
+		ssp.SetAttr("steps", stats.Permission.Steps)
+		if res != nil {
+			ssp.SetAttr("matched", len(res.Matches))
+		}
+	}
+	ssp.SetError(err)
+	ssp.End()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", errPrefix, err)
+	}
+	if resKey != "" {
+		db.results.Put(resKey, db.epoch, &cachedResult{matches: res.Matches, stats: res.Stats})
+	}
+	return res, nil
+}
+
+// serveCachedLocked attempts a tier-2 hit for resKey at the current
+// epoch and, on a hit, assembles the served Result (fresh match slice,
+// zeroed work counters, CacheHit stamped). Callers hold mu's read lock
+// and have already built resKey.
+func (db *DB) serveCachedLocked(ctx context.Context, resKey string, start time.Time) (*Result, bool) {
+	_, rsp := trace.StartSpan(ctx, "result_cache")
+	v, ok := db.results.Get(resKey, db.epoch)
+	if rsp != nil {
+		rsp.SetAttr("hit", ok)
+	}
+	rsp.End()
+	if !ok {
+		return nil, false
+	}
+	cr := v.(*cachedResult)
+	st := cr.stats
+	st.Translate, st.Filter, st.Check, st.ProjPick = 0, 0, 0, 0
+	st.Checked = 0
+	st.Permission = permission.Stats{}
+	st.CacheHit = true
+	db.metrics.CachedServe.Observe(time.Since(start))
+	db.metrics.Permitted.Add(int64(len(cr.matches)))
+	if root := trace.SpanFrom(ctx); root != nil {
+		root.SetAttr("cached", true)
+		root.SetAttr("matched", len(cr.matches))
+	}
+	return &Result{Matches: append([]*Contract(nil), cr.matches...), Stats: st}, true
+}
+
+// prefilterLocked computes the candidate set for qa: the prefiltered
+// subset for permission queries when the mode asks for it, the whole
+// corpus otherwise. It fills stats.Candidates/Filter and the pruning
+// counters. Callers hold mu's read lock.
+func (db *DB) prefilterLocked(ctx context.Context, qa *buchi.BA, mode Mode, obligation bool, stats *QueryStats) []*Contract {
 	candidates := db.contracts
 	if mode.Prefilter && !obligation {
-		t = time.Now()
+		t := time.Now()
 		_, fsp := trace.StartSpan(ctx, "prefilter")
 		set := db.index.Candidates(qa)
 		stats.Filter = time.Since(t)
@@ -182,20 +220,45 @@ func (db *DB) evalQuery(ctx context.Context, spec *ltl.Expr, mode Mode, obligati
 	}
 	stats.Candidates = len(candidates)
 	db.metrics.CandidatesPruned.Add(int64(stats.Total - len(candidates)))
+	return candidates
+}
 
-	sctx, ssp := trace.StartSpan(ctx, "scan")
-	res, err := db.finishQuery(sctx, qa, candidates, mode, obligation, &stats)
-	if ssp != nil {
-		ssp.SetAttr("checked", stats.Checked)
-		ssp.SetAttr("steps", stats.Permission.Steps)
-		if res != nil {
-			ssp.SetAttr("matched", len(res.Matches))
+// EvalCompiled evaluates an already-translated query automaton against
+// this database's corpus. It is the per-shard entry point of the
+// scatter-gather router (internal/shard): the router canonicalizes and
+// translates the query once, then fans the shared automaton out to
+// every shard, so the per-shard path must not pay translation again.
+//
+// key, when non-empty, is the router's canonical query key
+// (ltl.CanonicalKey of the query); combined with the mode knobs it
+// addresses this database's tier-2 result cache. An empty key, a
+// NoCache mode, or a disabled cache all skip caching entirely.
+//
+// Unlike the DB's own query methods, EvalCompiled does not count a
+// top-level query in the metrics registry and emits no "scan" span —
+// the router owns both — but every work counter (candidate scans,
+// kernel steps, cache traffic) accrues to this database, and the
+// per-candidate "check" spans nest under the caller's span.
+func (db *DB) EvalCompiled(ctx context.Context, qa *buchi.BA, key string, mode Mode, obligation bool) (*Result, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+
+	var stats QueryStats
+	stats.Total = len(db.contracts)
+
+	start := time.Now()
+	var resKey string
+	if key != "" && !mode.NoCache && db.results != nil {
+		resKey = resultCacheKey(key, mode, obligation)
+		if res, ok := db.serveCachedLocked(ctx, resKey, start); ok {
+			return res, nil
 		}
 	}
-	ssp.SetError(err)
-	ssp.End()
+
+	candidates := db.prefilterLocked(ctx, qa, mode, obligation, &stats)
+	res, err := db.finishQuery(ctx, qa, candidates, mode, obligation, &stats)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", errPrefix, err)
+		return nil, err
 	}
 	if resKey != "" {
 		db.results.Put(resKey, db.epoch, &cachedResult{matches: res.Matches, stats: res.Stats})

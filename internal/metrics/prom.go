@@ -124,6 +124,31 @@ func (p *PromWriter) WriteDurability(s DurabilitySnapshot) {
 	p.Histogram("ctdb_recovery_seconds", "Recovery duration at open.", s.Recovery)
 }
 
+// WriteShardRouter renders the scatter-gather router's counters and
+// per-shard gauges under the ctdb_shard_ prefix. sizes and epochs are
+// indexed by shard; either may be nil.
+func (p *PromWriter) WriteShardRouter(s ShardRouterSnapshot, sizes []int, epochs []uint64) {
+	p.Counter("ctdb_shard_probes_total", "Per-shard query probes dispatched by the router.", s.Probes)
+	p.Counter("ctdb_shard_early_exits_total", "FindAny scatters canceled after the first witness.", s.EarlyExits)
+	p.Counter("ctdb_shard_full_cache_hits_total", "Scatters answered entirely from shard result caches.", s.FullHits)
+	p.Counter("ctdb_shard_partial_cache_hits_total", "Scatters where only some shards served cached results.", s.PartialHits)
+	p.Histogram("ctdb_shard_scatter_seconds", "Fan-out wall time until the last shard probe finishes.", s.Scatter)
+	p.Histogram("ctdb_shard_merge_seconds", "Deterministic result-merge time after the scatter.", s.Merge)
+
+	if len(sizes) > 0 {
+		p.header("ctdb_shard_contracts", "Contracts resident per shard.", "gauge")
+		for i, n := range sizes {
+			p.printf("ctdb_shard_contracts{shard=\"%d\"} %d\n", i, n)
+		}
+	}
+	if len(epochs) > 0 {
+		p.header("ctdb_shard_epoch", "Registration epoch per shard.", "gauge")
+		for i, e := range epochs {
+			p.printf("ctdb_shard_epoch{shard=\"%d\"} %d\n", i, e)
+		}
+	}
+}
+
 // WriteRuntime renders the process gauges: goroutines, heap, and GC
 // pause accounting from runtime.MemStats.
 func (p *PromWriter) WriteRuntime() {

@@ -5,7 +5,6 @@ import (
 	"strings"
 	"testing"
 
-	"contractdb/internal/core"
 	"contractdb/internal/paperex"
 	"contractdb/internal/server"
 	"contractdb/internal/store"
@@ -14,7 +13,7 @@ import (
 func TestUnregisterEndpoint(t *testing.T) {
 	srv, client, db := newTestServer(t)
 	persisted := 0
-	srv.Persist = func(*core.DB) error { persisted++; return nil }
+	srv.Persist = func() error { persisted++; return nil }
 
 	if _, err := client.Register("TicketA", paperex.TicketA().String()); err != nil {
 		t.Fatal(err)

@@ -51,16 +51,42 @@ import (
 	"contractdb/internal/ltl"
 	"contractdb/internal/metrics"
 	"contractdb/internal/trace"
+	"contractdb/internal/vocab"
 )
 
-// Server wires a core.DB to an http.Handler. Create with New; the
+// DB is the database surface the server needs. Both the unsharded
+// *core.DB and the sharded *shard.DB satisfy it, so the same handler
+// set serves either engine.
+type DB interface {
+	Len() int
+	Vocabulary() *vocab.Vocabulary
+	Contracts() []*core.Contract
+	ByName(name string) (*core.Contract, bool)
+	RegisterLTL(name, src string) (*core.Contract, error)
+	Unregister(name string) error
+	QueryModeCtx(ctx context.Context, spec *ltl.Expr, mode core.Mode) (*core.Result, error)
+	RegistrationStats() core.RegistrationStats
+	Stats() core.DBStats
+}
+
+// sharder is the extra surface a sharded engine exposes; the server
+// detects it by assertion so it needs no dependency on the shard
+// package (and no daemon wiring) to report per-shard metrics.
+type sharder interface {
+	NumShards() int
+	ShardSizes() []int
+	ShardEpochs() []uint64
+	RouterSnapshot() metrics.ShardRouterSnapshot
+}
+
+// Server wires a database to an http.Handler. Create with New; the
 // zero value is not usable.
 type Server struct {
-	db  *core.DB
+	db  DB
 	mux *http.ServeMux
 	// Persist, when non-nil, is invoked after every successful
 	// registration so the operator can snapshot the database.
-	Persist func(*core.DB) error
+	Persist func() error
 	// QueryTimeout, when positive, bounds every query evaluation in
 	// addition to the client's own context.
 	QueryTimeout time.Duration
@@ -90,7 +116,7 @@ type Server struct {
 }
 
 // New returns a server for the database.
-func New(db *core.DB) *Server {
+func New(db DB) *Server {
 	s := &Server{
 		db:     db,
 		mux:    http.NewServeMux(),
@@ -185,11 +211,14 @@ func writeErr(w http.ResponseWriter, r *http.Request, status int, err error) {
 // HealthResponse reports liveness, database size, uptime, and — when
 // the server fronts a durable store — what recovery did at open.
 type HealthResponse struct {
-	Status        string         `json:"status"`
-	Contracts     int            `json:"contracts"`
-	Events        int            `json:"events"`
-	UptimeSeconds float64        `json:"uptime_seconds"`
-	Recovery      *RecoveryState `json:"recovery,omitempty"`
+	Status        string  `json:"status"`
+	Contracts     int     `json:"contracts"`
+	Events        int     `json:"events"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Shards is the scatter-gather shard count; absent when the server
+	// fronts an unsharded engine.
+	Shards   int            `json:"shards,omitempty"`
+	Recovery *RecoveryState `json:"recovery,omitempty"`
 }
 
 // RecoveryState mirrors store.RecoveryInfo for the wire (the server
@@ -205,13 +234,17 @@ type RecoveryState struct {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, HealthResponse{
+	resp := HealthResponse{
 		Status:        "ok",
 		Contracts:     s.db.Len(),
 		Events:        s.db.Vocabulary().Len(),
 		UptimeSeconds: s.uptime(),
 		Recovery:      s.Recovery,
-	})
+	}
+	if sh, ok := s.db.(sharder); ok {
+		resp.Shards = sh.NumShards()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // ContractInfo describes one registered contract.
@@ -286,7 +319,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.Persist != nil {
-		if err := s.Persist(s.db); err != nil {
+		if err := s.Persist(); err != nil {
 			writeErr(w, r, http.StatusInternalServerError, fmt.Errorf("registered but snapshot failed: %w", err))
 			return
 		}
@@ -308,7 +341,7 @@ func (s *Server) handleUnregister(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.Persist != nil {
-		if err := s.Persist(s.db); err != nil {
+		if err := s.Persist(); err != nil {
 			writeErr(w, r, http.StatusInternalServerError, fmt.Errorf("unregistered but snapshot failed: %w", err))
 			return
 		}
@@ -506,9 +539,22 @@ type MetricsResponse struct {
 	Build            BuildInfo             `json:"build"`
 	Queries          metrics.QuerySnapshot `json:"queries"`
 	Caches           CacheMetrics          `json:"caches"`
+	// Sharding is present only when the server fronts a sharded
+	// scatter-gather engine.
+	Sharding *ShardingInfo `json:"sharding,omitempty"`
 	// Durability is present only when the server fronts a durable
 	// store (WAL + checkpoints).
 	Durability *metrics.DurabilitySnapshot `json:"durability,omitempty"`
+}
+
+// ShardingInfo reports the sharded engine's shape and router counters:
+// per-shard contract counts and epochs, plus scatter/merge timings and
+// cache-hit composition across shards.
+type ShardingInfo struct {
+	Shards int                         `json:"shards"`
+	Sizes  []int                       `json:"sizes"`
+	Epochs []uint64                    `json:"epochs"`
+	Router metrics.ShardRouterSnapshot `json:"router"`
 }
 
 // BuildInfo identifies the serving binary: the Go toolchain it was
@@ -536,7 +582,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		snap := s.Durability.Snapshot()
 		durability = &snap
 	}
+	var sharding *ShardingInfo
+	if sh, ok := s.db.(sharder); ok {
+		sharding = &ShardingInfo{
+			Shards: sh.NumShards(),
+			Sizes:  sh.ShardSizes(),
+			Epochs: sh.ShardEpochs(),
+			Router: sh.RouterSnapshot(),
+		}
+	}
 	writeJSON(w, http.StatusOK, MetricsResponse{
+		Sharding:         sharding,
 		Durability:       durability,
 		Contracts:        st.Registration.Contracts,
 		VocabularyEvents: s.db.Vocabulary().Len(),
@@ -573,6 +629,9 @@ func (s *Server) handlePrometheus(w http.ResponseWriter, _ *http.Request) {
 	p.Gauge("ctdb_result_cache_entries", "Tier-2 result cache occupancy.", float64(st.Caches.ResultCacheLen))
 	p.Gauge("ctdb_uptime_seconds", "Seconds since the server started.", s.uptime())
 	p.WriteQuery(st.Queries)
+	if sh, ok := s.db.(sharder); ok {
+		p.WriteShardRouter(sh.RouterSnapshot(), sh.ShardSizes(), sh.ShardEpochs())
+	}
 	if s.Durability != nil {
 		p.WriteDurability(s.Durability.Snapshot())
 	}

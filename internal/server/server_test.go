@@ -141,7 +141,7 @@ func TestStatsEndpoint(t *testing.T) {
 
 func TestPersistHookFailure(t *testing.T) {
 	srv, client, _ := newTestServer(t)
-	srv.Persist = func(*core.DB) error { return errors.New("disk full") }
+	srv.Persist = func() error { return errors.New("disk full") }
 	if _, err := client.Register("A", "G !refund"); err == nil || !strings.Contains(err.Error(), "500") {
 		t.Errorf("persist failure should 500, got %v", err)
 	}
@@ -150,7 +150,7 @@ func TestPersistHookFailure(t *testing.T) {
 func TestPersistHookInvoked(t *testing.T) {
 	srv, client, _ := newTestServer(t)
 	calls := 0
-	srv.Persist = func(*core.DB) error { calls++; return nil }
+	srv.Persist = func() error { calls++; return nil }
 	if _, err := client.Register("A", "G !refund"); err != nil {
 		t.Fatal(err)
 	}

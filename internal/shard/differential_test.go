@@ -1,0 +1,190 @@
+package shard_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"contractdb/internal/core"
+	"contractdb/internal/datagen"
+	"contractdb/internal/ltl"
+	"contractdb/internal/shard"
+)
+
+// TestDifferential runs a seeded randomized register/unregister/query
+// workload against an unsharded oracle and sharded databases at every
+// shard count in {1, 2, 4, 8}, in lockstep. Every query — find-all and
+// find-any, permission and obligation, cached and NoCache — must agree
+// across all five engines at every step, and at the end the sharded
+// snapshots must be byte-identical across shard counts.
+func TestDifferential(t *testing.T) {
+	const (
+		seed      = 42
+		ops       = 80
+		queryMix  = 6
+		specProps = 2
+	)
+	opts := core.Options{MaxAutomatonStates: 300}
+	shardCounts := []int{1, 2, 4, 8}
+
+	// One vocabulary per engine (each interns independently but
+	// deterministically, since the op order is shared).
+	oracle := core.NewDB(datagen.NewVocabulary(), opts)
+	sharded := make([]*shard.DB, len(shardCounts))
+	for i, n := range shardCounts {
+		var err error
+		sharded[i], err = shard.New(datagen.NewVocabulary(), opts, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Deterministic op stream. Specs come from per-engine generators
+	// advanced in lockstep so every engine sees identical formulas.
+	rng := rand.New(rand.NewSource(seed))
+	specGens := make([]*datagen.Generator, 1+len(shardCounts))
+	queryGens := make([]*datagen.Generator, 1+len(shardCounts))
+	for i := range specGens {
+		var voc = oracle.Vocabulary()
+		if i > 0 {
+			voc = sharded[i-1].Vocabulary()
+		}
+		specGens[i] = datagen.New(voc, 1000+seed)
+		queryGens[i] = datagen.New(voc, 2000+seed)
+	}
+	nextSpecs := func(props int, gens []*datagen.Generator) []*ltl.Expr {
+		out := make([]*ltl.Expr, len(gens))
+		for i, g := range gens {
+			out[i] = g.Specification(props)
+		}
+		return out
+	}
+
+	var live []string // names present in every engine (identical by construction)
+	register := func(name string) {
+		specs := nextSpecs(specProps, specGens)
+		_, oerr := oracle.Register(name, specs[0])
+		for i, sdb := range sharded {
+			_, serr := sdb.Register(name, specs[i+1])
+			if (oerr == nil) != (serr == nil) {
+				t.Fatalf("register %q: oracle err=%v, %d-shard err=%v", name, oerr, shardCounts[i], serr)
+			}
+		}
+		if oerr == nil {
+			if name == "" {
+				// The engines minted the same generated name; recover it
+				// from the oracle (the newest contract).
+				cs := oracle.Contracts()
+				name = cs[len(cs)-1].Name
+			}
+			live = append(live, name)
+		}
+	}
+
+	modes := []core.Mode{
+		{Prefilter: true, Bisim: true},
+		{Prefilter: true, Bisim: true, NoCache: true},
+		{Prefilter: true, Bisim: true, FindAny: true},
+		{NoCache: true},
+		{Algorithm: core.AlgorithmNestedDFS, Prefilter: true, NoCache: true},
+	}
+
+	runQueries := func(step int) {
+		queries := nextSpecs(specProps, queryGens)
+		for mi, mode := range modes {
+			ores, oerr := oracle.QueryModeCtx(nil, queries[0], mode)
+			for i, sdb := range sharded {
+				sres, serr := sdb.QueryModeCtx(nil, queries[i+1], mode)
+				if (oerr == nil) != (serr == nil) {
+					t.Fatalf("step %d mode %d: oracle err=%v, %d-shard err=%v", step, mi, oerr, shardCounts[i], serr)
+				}
+				if oerr != nil {
+					continue
+				}
+				if mode.FindAny {
+					// Any witness is a valid answer; engines must agree on
+					// whether one exists.
+					if (len(ores.Matches) > 0) != (len(sres.Matches) > 0) {
+						t.Fatalf("step %d mode %d: FindAny disagreement: oracle %d matches, %d-shard %d matches",
+							step, mi, len(ores.Matches), shardCounts[i], len(sres.Matches))
+					}
+					continue
+				}
+				if g, w := fmt.Sprint(resultNames(sres)), fmt.Sprint(resultNames(ores)); g != w {
+					t.Fatalf("step %d mode %d: %d-shard %s != oracle %s", step, mi, shardCounts[i], g, w)
+				}
+			}
+			// Obligation queries every other mode, to keep runtime down.
+			if mi%2 != 0 {
+				continue
+			}
+			oores, ooerr := oracle.QueryObligationModeCtx(nil, queries[0], mode)
+			for i, sdb := range sharded {
+				sres, serr := sdb.QueryObligationModeCtx(nil, queries[i+1], mode)
+				if (ooerr == nil) != (serr == nil) {
+					t.Fatalf("step %d mode %d obligation: oracle err=%v, %d-shard err=%v", step, mi, ooerr, shardCounts[i], serr)
+				}
+				if ooerr != nil || mode.FindAny {
+					continue
+				}
+				if g, w := fmt.Sprint(resultNames(sres)), fmt.Sprint(resultNames(oores)); g != w {
+					t.Fatalf("step %d mode %d obligation: %d-shard %s != oracle %s", step, mi, shardCounts[i], g, w)
+				}
+			}
+		}
+	}
+
+	for step := 0; step < ops; step++ {
+		switch r := rng.Float64(); {
+		case r < 0.45 || len(live) == 0:
+			if rng.Float64() < 0.5 {
+				register("")
+			} else {
+				register(fmt.Sprintf("c%03d", rng.Intn(200)))
+			}
+		case r < 0.60:
+			victim := live[rng.Intn(len(live))]
+			oerr := oracle.Unregister(victim)
+			for i, sdb := range sharded {
+				serr := sdb.Unregister(victim)
+				if (oerr == nil) != (serr == nil) {
+					t.Fatalf("unregister %q: oracle err=%v, %d-shard err=%v", victim, oerr, shardCounts[i], serr)
+				}
+			}
+			for i, n := range live {
+				if n == victim {
+					live = append(live[:i], live[i+1:]...)
+					break
+				}
+			}
+		default:
+			runQueries(step)
+		}
+		if oracle.Len() != sharded[0].Len() {
+			t.Fatalf("step %d: oracle holds %d contracts, 1-shard holds %d", step, oracle.Len(), sharded[0].Len())
+		}
+	}
+	runQueries(ops)
+
+	if oracle.Len() == 0 {
+		t.Fatal("workload ended with an empty database; differential is vacuous")
+	}
+
+	// Snapshot bytes must not depend on the shard count.
+	var first []byte
+	for i, sdb := range sharded {
+		var buf bytes.Buffer
+		if err := sdb.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(first, buf.Bytes()) {
+			t.Fatalf("Save bytes differ: 1-shard wrote %d bytes, %d-shard wrote %d bytes (and/or content differs)",
+				len(first), shardCounts[i], buf.Len())
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package shard_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"contractdb/internal/core"
+	"contractdb/internal/datagen"
+	"contractdb/internal/ltl"
+	"contractdb/internal/shard"
+)
+
+// TestFindAllOrderStable is the regression test for the merge order:
+// a find-all result must come back in exactly the same order on every
+// run and at every shard count — merged by contract name, never by
+// shard arrival order (which varies with goroutine scheduling).
+func TestFindAllOrderStable(t *testing.T) {
+	const size = 40
+	opts := core.Options{MaxAutomatonStates: 300}
+	counts := []int{1, 2, 4, 8}
+	dbs := make([]*shard.DB, len(counts))
+	for i, n := range counts {
+		voc := datagen.NewVocabulary()
+		sdb, err := shard.New(voc, opts, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := datagen.New(voc, 5)
+		for sdb.Len() < size {
+			if _, err := sdb.Register("", gen.Specification(2)); err != nil {
+				continue
+			}
+		}
+		dbs[i] = sdb
+	}
+
+	queries := []string{"F p1", "G (p2 -> F p3)", "F p4 | F p1"}
+	for _, src := range queries {
+		q, err := ltl.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want string
+		for i, sdb := range dbs {
+			// Repeat each query: arrival order varies run to run, the
+			// result order must not. Alternate cached and cold so both
+			// paths are pinned.
+			for rep := 0; rep < 6; rep++ {
+				mode := core.Optimized
+				mode.NoCache = rep%2 == 1
+				res, err := sdb.QueryMode(q, mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				names := make([]string, len(res.Matches))
+				for j, c := range res.Matches {
+					names[j] = c.Name
+				}
+				if !sort.StringsAreSorted(names) {
+					t.Fatalf("%q on %d shards rep %d: result not name-sorted: %v", src, counts[i], rep, names)
+				}
+				got := fmt.Sprint(names)
+				if want == "" {
+					want = got
+				}
+				if got != want {
+					t.Fatalf("%q on %d shards rep %d: order %s != first observed %s", src, counts[i], rep, got, want)
+				}
+			}
+		}
+	}
+}

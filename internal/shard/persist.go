@@ -1,0 +1,132 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+
+	"contractdb/internal/core"
+	"contractdb/internal/vocab"
+)
+
+// The sharded snapshot deliberately does not record the shard count.
+// It is a name-sorted list of registration records — the same
+// byte-deterministic per-contract encoding the WAL carries — plus the
+// vocabulary and options. Placement is a pure function of name and
+// shard count, so Load can deal the records onto however many shards
+// the caller asks for: a corpus saved under 8 shards reloads under 4
+// (or 1) byte-for-byte identically re-saved. That property is the
+// backbone of the differential harness and it means re-sharding a
+// deployment is a restart, not a migration.
+
+// shardSnapshot is the persisted form of a sharded database.
+type shardSnapshot struct {
+	// ShardFormat versions this wrapper. It also discriminates the
+	// container: a legacy core snapshot decodes into this struct (gob
+	// matches fields by name) with ShardFormat zero, which routes Load
+	// to the unsharded reader.
+	ShardFormat int
+	Events      []string // shared vocabulary, in id order
+	Opts        core.Options
+	Records     []core.RegistrationExport // sorted by contract name
+}
+
+const shardFormatVersion = 1
+
+// Save writes the database to w in gob format. The bytes depend only
+// on the registered contracts, the vocabulary and the options — not on
+// the shard count — so equivalent databases with different shard
+// counts serialize identically.
+func (db *DB) Save(w io.Writer) error {
+	var records []core.RegistrationExport
+	for _, sh := range db.shards {
+		recs, err := sh.ExportRegistrations()
+		if err != nil {
+			return fmt.Errorf("shard: save: %w", err)
+		}
+		records = append(records, recs...)
+	}
+	// Name order, not shard-then-id order: the deal across shards must
+	// cancel out of the byte stream.
+	sort.Slice(records, func(i, j int) bool { return records[i].Name < records[j].Name })
+	snap := shardSnapshot{
+		ShardFormat: shardFormatVersion,
+		Events:      db.voc.Names(),
+		Opts:        db.options(),
+		Records:     records,
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("shard: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a database previously written by Save and deals its
+// contracts across n shards. It also accepts a legacy unsharded
+// core.DB snapshot, redistributing its contracts — the upgrade path
+// from a pre-sharding data directory.
+func Load(r io.Reader, n int) (*DB, error) {
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("shard: load: %w", err)
+	}
+	var snap shardSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(&snap); err != nil || snap.ShardFormat == 0 {
+		// Not a sharded snapshot; try the unsharded format.
+		cdb, cerr := core.Load(bytes.NewReader(buf))
+		if cerr != nil {
+			if err != nil {
+				return nil, fmt.Errorf("shard: load: %w", err)
+			}
+			return nil, fmt.Errorf("shard: load: %w", cerr)
+		}
+		return FromCore(cdb, n)
+	}
+	if snap.ShardFormat != shardFormatVersion {
+		return nil, fmt.Errorf("shard: load: snapshot has shard format %d, but this build supports only version %d",
+			snap.ShardFormat, shardFormatVersion)
+	}
+	voc, err := vocab.FromNames(snap.Events...)
+	if err != nil {
+		return nil, fmt.Errorf("shard: load: %w", err)
+	}
+	db, err := New(voc, snap.Opts, n)
+	if err != nil {
+		return nil, fmt.Errorf("shard: load: %w", err)
+	}
+	for _, rec := range snap.Records {
+		sh := db.shardFor(rec.Name)
+		before := sh.Len()
+		if err := sh.ApplyRegistration(rec.Record); err != nil {
+			return nil, fmt.Errorf("shard: load: contract %q: %w", rec.Name, err)
+		}
+		if sh.Len() == before {
+			return nil, fmt.Errorf("shard: load: duplicate contract name %q", rec.Name)
+		}
+	}
+	return db, nil
+}
+
+// FromCore redistributes an unsharded database's contracts across n
+// shards, sharing its vocabulary. The source database is not modified;
+// its precomputed artifacts (automata, projections) are re-encoded and
+// re-imported rather than re-derived, so conversion costs decode time,
+// not registration time.
+func FromCore(cdb *core.DB, n int) (*DB, error) {
+	db, err := New(cdb.Vocabulary(), cdb.Options(), n)
+	if err != nil {
+		return nil, err
+	}
+	records, err := cdb.ExportRegistrations()
+	if err != nil {
+		return nil, fmt.Errorf("shard: from core: %w", err)
+	}
+	for _, rec := range records {
+		if err := db.shardFor(rec.Name).ApplyRegistration(rec.Record); err != nil {
+			return nil, fmt.Errorf("shard: from core: contract %q: %w", rec.Name, err)
+		}
+	}
+	return db, nil
+}

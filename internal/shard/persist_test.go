@@ -1,0 +1,146 @@
+package shard_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"contractdb/internal/core"
+	"contractdb/internal/datagen"
+	"contractdb/internal/ltl"
+	"contractdb/internal/shard"
+)
+
+func saveBytes(t *testing.T, sdb *shard.DB) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := sdb.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSaveDeterministic: saving twice yields identical bytes, and a
+// save → load → save round trip reproduces them — including when the
+// load re-deals the corpus onto a different shard count.
+func TestSaveDeterministic(t *testing.T) {
+	_, sdb := buildPair(t, 4, 25, 23)
+	first := saveBytes(t, sdb)
+	if !bytes.Equal(first, saveBytes(t, sdb)) {
+		t.Fatal("two saves of the same database differ")
+	}
+	for _, n := range []int{1, 2, 4, 8} {
+		loaded, err := shard.Load(bytes.NewReader(first), n)
+		if err != nil {
+			t.Fatalf("load at %d shards: %v", n, err)
+		}
+		if loaded.Len() != sdb.Len() {
+			t.Fatalf("load at %d shards: %d contracts, want %d", n, loaded.Len(), sdb.Len())
+		}
+		if loaded.NumShards() != n {
+			t.Fatalf("load at %d shards: NumShards = %d", n, loaded.NumShards())
+		}
+		if got := saveBytes(t, loaded); !bytes.Equal(first, got) {
+			t.Fatalf("re-save after load at %d shards differs from original (%d vs %d bytes)", n, len(got), len(first))
+		}
+	}
+}
+
+// TestLoadQueriesMatch: a reloaded database answers exactly like the
+// one that was saved, at a different shard count.
+func TestLoadQueriesMatch(t *testing.T) {
+	_, sdb := buildPair(t, 8, 25, 29)
+	loaded, err := shard.Load(bytes.NewReader(saveBytes(t, sdb)), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range []string{"F p1", "G (p2 -> F p3)"} {
+		q, err := ltl.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := sdb.QueryMode(q, core.Mode{Prefilter: true, Bisim: true, NoCache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.QueryMode(q, core.Mode{Prefilter: true, Bisim: true, NoCache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g, w := fmt.Sprint(resultNames(b)), fmt.Sprint(resultNames(a)); g != w {
+			t.Fatalf("%q: reloaded %s != original %s", src, g, w)
+		}
+	}
+}
+
+// TestLoadLegacyCoreSnapshot: shard.Load accepts an unsharded core.DB
+// snapshot and redistributes it — the upgrade path for a pre-sharding
+// data directory.
+func TestLoadLegacyCoreSnapshot(t *testing.T) {
+	voc := datagen.NewVocabulary()
+	cdb := core.NewDB(voc, core.Options{MaxAutomatonStates: 300})
+	gen := datagen.New(voc, 31)
+	for cdb.Len() < 15 {
+		if _, err := cdb.Register("", gen.Specification(2)); err != nil {
+			continue
+		}
+	}
+	var buf bytes.Buffer
+	if err := cdb.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sdb, err := shard.Load(bytes.NewReader(buf.Bytes()), 4)
+	if err != nil {
+		t.Fatalf("loading a legacy core snapshot: %v", err)
+	}
+	if sdb.Len() != cdb.Len() {
+		t.Fatalf("redistributed %d contracts, want %d", sdb.Len(), cdb.Len())
+	}
+	q, err := ltl.Parse("F p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := cdb.QueryMode(q, core.Mode{Prefilter: true, Bisim: true, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sdb.QueryMode(q, core.Mode{Prefilter: true, Bisim: true, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, w := fmt.Sprint(resultNames(got)), fmt.Sprint(resultNames(want)); g != w {
+		t.Fatalf("redistributed answers %s, legacy answered %s", g, w)
+	}
+}
+
+// TestLoadGarbage: neither snapshot reader should accept junk.
+func TestLoadGarbage(t *testing.T) {
+	if _, err := shard.Load(bytes.NewReader([]byte("not a snapshot")), 2); err == nil {
+		t.Fatal("loading garbage succeeded")
+	}
+}
+
+// TestFromCore converts in memory without touching the source.
+func TestFromCore(t *testing.T) {
+	voc := datagen.NewVocabulary()
+	cdb := core.NewDB(voc, core.Options{MaxAutomatonStates: 300})
+	gen := datagen.New(voc, 37)
+	for cdb.Len() < 12 {
+		if _, err := cdb.Register("", gen.Specification(2)); err != nil {
+			continue
+		}
+	}
+	sdb, err := shard.FromCore(cdb, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sdb.Len() != cdb.Len() {
+		t.Fatalf("FromCore carried %d contracts, want %d", sdb.Len(), cdb.Len())
+	}
+	if cdb.Len() != 12 {
+		t.Fatalf("FromCore mutated the source: %d contracts", cdb.Len())
+	}
+	if sdb.Vocabulary() != cdb.Vocabulary() {
+		t.Fatal("FromCore must share the source vocabulary")
+	}
+}

@@ -1,0 +1,145 @@
+package store_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"contractdb/internal/core"
+	"contractdb/internal/datagen"
+	"contractdb/internal/ltl"
+	"contractdb/internal/shard"
+	"contractdb/internal/store"
+)
+
+func queryNames(t testing.TB, sdb *shard.DB, src string) []string {
+	t.Helper()
+	q, err := ltl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sdb.QueryMode(q, core.Mode{Prefilter: true, Bisim: true, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, len(res.Matches))
+	for i, c := range res.Matches {
+		names[i] = c.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TestShardedStoreCrashReopen: a sharded store logs every mutation to
+// the shared WAL, and a crash copy reopens — at a different shard
+// count — onto exactly the surviving state. Placement is derived from
+// contract names, so the record stream is count-agnostic.
+func TestShardedStoreCrashReopen(t *testing.T) {
+	dir := t.TempDir()
+	cfg := store.Config{Events: events(), Shards: 4, Core: core.Options{MaxAutomatonStates: 300}}
+	st := openStore(t, dir, cfg)
+	if st.DB() != nil {
+		t.Fatal("sharded store exposed an unsharded DB")
+	}
+	sdb := st.Router()
+	if sdb == nil || sdb.NumShards() != 4 {
+		t.Fatalf("Router() = %v, want a 4-shard engine", sdb)
+	}
+
+	gen := datagen.New(sdb.Vocabulary(), 11)
+	for sdb.Len() < 12 {
+		if _, err := sdb.Register("", gen.Specification(2)); err != nil {
+			continue
+		}
+	}
+	victims := sdb.Contracts()
+	for _, c := range victims[:3] {
+		if err := sdb.Unregister(c.Name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantLen := sdb.Len()
+	want := queryNames(t, sdb, "F p1")
+
+	crashed := t.TempDir()
+	copyDir(t, dir, crashed)
+	cfg2 := cfg
+	cfg2.Shards = 2
+	st2 := openStore(t, crashed, cfg2)
+	got := st2.Router()
+	if got == nil || got.NumShards() != 2 {
+		t.Fatalf("reopened Router() = %v, want a 2-shard engine", got)
+	}
+	if got.Len() != wantLen {
+		t.Fatalf("recovered %d contracts, want %d", got.Len(), wantLen)
+	}
+	if g, w := fmt.Sprint(queryNames(t, got, "F p1")), fmt.Sprint(want); g != w {
+		t.Fatalf("recovered answers %s, pre-crash answered %s", g, w)
+	}
+	if _, err := got.RegisterLTL("post-crash", "F p1"); err != nil {
+		t.Fatalf("recovered sharded store refuses writes: %v", err)
+	}
+}
+
+// TestShardedStoreUpgradeDowngrade: a directory created unsharded
+// reopens sharded (the sharded loader redistributes the legacy
+// snapshot), and a directory holding a sharded snapshot reopens under
+// an unsharded config by falling back to a 1-shard engine.
+func TestShardedStoreUpgradeDowngrade(t *testing.T) {
+	dir := t.TempDir()
+	cfg := store.Config{Events: events(), Core: core.Options{MaxAutomatonStates: 300}}
+	st := openStore(t, dir, cfg)
+	cdb := st.DB()
+	if cdb == nil || st.Router() != nil {
+		t.Fatal("unsharded store did not expose a core.DB")
+	}
+	gen := datagen.New(cdb.Vocabulary(), 13)
+	for cdb.Len() < 10 {
+		if _, err := cdb.Register("", gen.Specification(2)); err != nil {
+			continue
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Upgrade: same directory, now sharded.
+	cfgUp := cfg
+	cfgUp.Shards = 4
+	st2, err := store.Open(dir, cfgUp)
+	if err != nil {
+		t.Fatalf("upgrading to sharded: %v", err)
+	}
+	sdb := st2.Router()
+	if sdb == nil || sdb.Len() != 10 {
+		t.Fatalf("upgrade recovered %v, want 10 contracts on 4 shards", sdb)
+	}
+	if _, err := sdb.RegisterLTL("upgraded", "F p2"); err != nil {
+		t.Fatal(err)
+	}
+	want := queryNames(t, sdb, "F p1")
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Downgrade: the newest snapshot is now sharded-format; an
+	// unsharded open serves it through a 1-shard engine.
+	st3, err := store.Open(dir, cfg)
+	if err != nil {
+		t.Fatalf("reopening sharded directory unsharded: %v", err)
+	}
+	defer st3.Close()
+	one := st3.Router()
+	if one == nil || one.NumShards() != 1 {
+		t.Fatalf("downgrade Router() = %v, want a 1-shard engine", one)
+	}
+	if st3.DB() != nil {
+		t.Fatal("downgrade exposed both engines")
+	}
+	if one.Len() != 11 {
+		t.Fatalf("downgrade recovered %d contracts, want 11", one.Len())
+	}
+	if g, w := fmt.Sprint(queryNames(t, one, "F p1")), fmt.Sprint(want); g != w {
+		t.Fatalf("downgrade answers %s, sharded answered %s", g, w)
+	}
+}

@@ -1,5 +1,6 @@
 // Package store is the broker's durable storage engine: it owns a
-// data directory and keeps a core.DB crash-safe by combining the
+// data directory and keeps a database — an unsharded core.DB or a
+// sharded shard.DB (Config.Shards) — crash-safe by combining the
 // write-ahead log of internal/wal with periodic snapshots.
 //
 // Layout of a data directory:
@@ -33,8 +34,10 @@
 package store
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -45,10 +48,23 @@ import (
 
 	"contractdb/internal/core"
 	"contractdb/internal/metrics"
+	"contractdb/internal/shard"
 	"contractdb/internal/trace"
 	"contractdb/internal/vocab"
 	"contractdb/internal/wal"
 )
+
+// engine is the slice of the database surface the store needs — the
+// same write-ahead protocol works over an unsharded core.DB and a
+// sharded shard.DB, because the sharded engine re-routes every record
+// to its owning shard by contract name at replay (placement is derived
+// from the name, never persisted).
+type engine interface {
+	Save(w io.Writer) error
+	ApplyRegistration(data []byte) error
+	ApplyUnregister(name string) error
+	SetOpLog(l core.OpLog)
+}
 
 // WAL record types.
 const (
@@ -70,6 +86,15 @@ type Config struct {
 	// Events is the vocabulary of a freshly created database; ignored
 	// when the directory already holds a snapshot.
 	Events []string
+	// Shards, when > 1, fronts the data with a sharded scatter-gather
+	// engine (internal/shard): the WAL stays a single interleaved
+	// stream, but each record replays onto the shard that owns its
+	// contract name. The count is a runtime choice, not a property of
+	// the data — the same directory can reopen under a different count,
+	// and a directory created unsharded upgrades transparently (the
+	// sharded loader reads legacy snapshots and redistributes).
+	// 0 or 1 keeps the unsharded engine.
+	Shards int
 	// Core are the registration options of a freshly created database;
 	// ignored when a snapshot exists (options travel in the snapshot).
 	Core core.Options
@@ -141,7 +166,9 @@ type RecoveryInfo struct {
 type Store struct {
 	dir string
 	cfg Config
-	db  *core.DB
+	db  engine // == cdb or sdb
+	cdb *core.DB
+	sdb *shard.DB
 	log *wal.Log
 	met *metrics.Durability
 
@@ -220,25 +247,45 @@ func Open(dir string, cfg Config) (*Store, error) {
 		return nil, err
 	}
 	var info RecoveryInfo
-	var db *core.DB
+	var cdb *core.DB
+	var sdb *shard.DB
+	sharded := cfg.Shards > 1
+	loaded := false
 	boundary := uint64(1)
 	_, lsp := trace.StartSpan(rctx, "load_snapshot")
 	for _, sn := range snaps {
-		f, err := os.Open(sn.path)
+		data, err := os.ReadFile(sn.path)
 		if err != nil {
 			info.SkippedSnapshots = append(info.SkippedSnapshots, sn.path)
 			continue
 		}
-		db, err = core.Load(f)
-		f.Close()
+		// The sharded loader reads both formats (it redistributes a
+		// legacy unsharded snapshot), so changing Shards across restarts
+		// never strands a directory. The reverse direction — an
+		// unsharded open finding a sharded snapshot — falls back to the
+		// sharded engine at count 1, which serves identically.
+		if sharded {
+			sdb, err = shard.Load(bytes.NewReader(data), cfg.Shards)
+		} else {
+			cdb, err = core.Load(bytes.NewReader(data))
+			if err != nil {
+				if s1, serr := shard.Load(bytes.NewReader(data), 1); serr == nil {
+					sdb, err = s1, nil
+					if cfg.Logf != nil {
+						cfg.Logf("store: %s is a sharded snapshot; serving it through a 1-shard engine", sn.path)
+					}
+				}
+			}
+		}
 		if err != nil {
 			if cfg.Logf != nil {
 				cfg.Logf("store: skipping snapshot %s: %v", sn.path, err)
 			}
 			info.SkippedSnapshots = append(info.SkippedSnapshots, sn.path)
-			db = nil
+			cdb, sdb = nil, nil
 			continue
 		}
+		loaded = true
 		boundary = sn.boundary
 		info.SnapshotSeq = sn.boundary
 		info.SnapshotPath = sn.path
@@ -253,7 +300,7 @@ func Open(dir string, cfg Config) (*Store, error) {
 	}
 	lsp.End()
 	fresh := false
-	if db == nil {
+	if !loaded {
 		if len(snaps) > 0 {
 			// Snapshots existed and none decodes: the WAL alone cannot
 			// reach back to sequence 1 (it is pruned against snapshots),
@@ -264,8 +311,19 @@ func Open(dir string, cfg Config) (*Store, error) {
 		if err != nil {
 			return nil, fmt.Errorf("store: %w", err)
 		}
-		db = core.NewDB(voc, cfg.Core)
+		if sharded {
+			sdb, err = shard.New(voc, cfg.Core, cfg.Shards)
+			if err != nil {
+				return nil, fmt.Errorf("store: %w", err)
+			}
+		} else {
+			cdb = core.NewDB(voc, cfg.Core)
+		}
 		fresh = true
+	}
+	var db engine = cdb
+	if sdb != nil {
+		db = sdb
 	}
 
 	_, osp := trace.StartSpan(rctx, "wal_open")
@@ -341,6 +399,8 @@ func Open(dir string, cfg Config) (*Store, error) {
 		dir:          dir,
 		cfg:          cfg,
 		db:           db,
+		cdb:          cdb,
+		sdb:          sdb,
 		log:          w,
 		met:          met,
 		Recovery:     info,
@@ -362,9 +422,14 @@ func Open(dir string, cfg Config) (*Store, error) {
 	return s, nil
 }
 
-// DB returns the recovered database. Mutations on it are logged
+// DB returns the recovered unsharded database, or nil when the store
+// runs a sharded engine (then use Router). Mutations on it are logged
 // through the store; queries touch the store not at all.
-func (s *Store) DB() *core.DB { return s.db }
+func (s *Store) DB() *core.DB { return s.cdb }
+
+// Router returns the recovered sharded database, or nil when the
+// store runs unsharded. Exactly one of DB and Router is non-nil.
+func (s *Store) Router() *shard.DB { return s.sdb }
 
 // Metrics returns the store's durability registry.
 func (s *Store) Metrics() *metrics.Durability { return s.met }

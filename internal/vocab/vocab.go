@@ -13,6 +13,7 @@ import (
 	"math/bits"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // MaxEvents is the maximum number of events a vocabulary can hold.
@@ -30,7 +31,14 @@ type Set uint64
 
 // Vocabulary interns event names. The zero value is not usable; call
 // New.
+//
+// A Vocabulary is safe for concurrent use. This matters because one
+// vocabulary is shared across every lock domain that refers to it: all
+// shards of a sharded database intern into the same vocabulary while
+// holding only their own shard lock, and query translation may intern
+// atoms while the owning database holds just a read lock.
 type Vocabulary struct {
+	mu    sync.RWMutex
 	names []string
 	ids   map[string]EventID
 }
@@ -67,6 +75,8 @@ func (v *Vocabulary) Add(name string) (EventID, error) {
 	if name == "" {
 		return 0, fmt.Errorf("vocab: empty event name")
 	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	if id, ok := v.ids[name]; ok {
 		return id, nil
 	}
@@ -81,6 +91,8 @@ func (v *Vocabulary) Add(name string) (EventID, error) {
 
 // Lookup returns the ID for name, and whether it exists.
 func (v *Vocabulary) Lookup(name string) (EventID, bool) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	id, ok := v.ids[name]
 	return id, ok
 }
@@ -89,15 +101,23 @@ func (v *Vocabulary) Lookup(name string) (EventID, bool) {
 // ID, which always indicates a programming error (IDs are only minted
 // by Add).
 func (v *Vocabulary) Name(id EventID) string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	return v.names[id]
 }
 
 // Len returns the number of interned events.
-func (v *Vocabulary) Len() int { return len(v.names) }
+func (v *Vocabulary) Len() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.names)
+}
 
 // Names returns the event names in ID order. The returned slice is a
 // copy.
 func (v *Vocabulary) Names() []string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	out := make([]string, len(v.names))
 	copy(out, v.names)
 	return out
@@ -106,6 +126,8 @@ func (v *Vocabulary) Names() []string {
 // SetOf builds a Set from event names. Unknown names are reported as an
 // error rather than silently ignored.
 func (v *Vocabulary) SetOf(names ...string) (Set, error) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	var s Set
 	for _, n := range names {
 		id, ok := v.ids[n]
