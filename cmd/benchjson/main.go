@@ -43,6 +43,13 @@ type report struct {
 	GOOS      string   `json:"goos"`
 	GOARCH    string   `json:"goarch"`
 	Results   []result `json:"results"`
+	// ColdStart and RegisterRate are wall-clock series (recorded for
+	// the trajectory, never gated — unlike allocs/op they vary across
+	// machines): snapshot-load vs. batch re-registration milliseconds
+	// per corpus size, and sustained registration throughput with and
+	// without the ingest pipeline.
+	ColdStart    []benchkit.ColdStartPoint    `json:"cold_start,omitempty"`
+	RegisterRate []benchkit.RegisterRatePoint `json:"register_rate,omitempty"`
 }
 
 func main() {
@@ -50,6 +57,7 @@ func main() {
 	baseline := flag.String("baseline", "", "committed report to compare against; exit 1 on allocs/op regression")
 	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional allocs/op growth over -baseline")
 	filter := flag.String("bench", "", "only run benchmarks whose name contains this substring")
+	series := flag.Bool("series", true, "also run the cold-start and registration-rate wall-clock series")
 	flag.Parse()
 
 	type bench struct {
@@ -100,6 +108,29 @@ func main() {
 		rep.Results = append(rep.Results, res)
 		fmt.Fprintf(os.Stderr, "%-40s %10d ns/op %10d B/op %8d allocs/op\n",
 			bm.name, int64(res.NsPerOp), res.BytesPerOp, res.AllocsPerOp)
+	}
+
+	if *series && *filter == "" {
+		for _, size := range []int{100, 500, 1000} {
+			p, err := benchkit.ColdStart(size)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+				os.Exit(1)
+			}
+			rep.ColdStart = append(rep.ColdStart, p)
+			fmt.Fprintf(os.Stderr, "ColdStart/contracts=%-5d register %9.1f ms  load %7.1f ms  (%.1fx, %d snapshot bytes)\n",
+				p.Contracts, p.RegisterMS, p.LoadMS, p.Speedup, p.SnapshotBytes)
+		}
+		for _, workers := range []int{0, runtime.GOMAXPROCS(0)} {
+			p, err := benchkit.RegisterRate(300, workers)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+				os.Exit(1)
+			}
+			rep.RegisterRate = append(rep.RegisterRate, p)
+			fmt.Fprintf(os.Stderr, "RegisterRate/workers=%-3d accept %9.1f ms (%8.1f reg/s)  drain %9.1f ms\n",
+				p.IngestWorkers, p.AcceptMS, p.AcceptPerSec, p.DrainMS)
+		}
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

@@ -4,6 +4,7 @@
 //	ctdb init   -db FILE -events a,b,c        create an empty database
 //	ctdb gen    -db FILE -n 100 [-props 5]    add generated contracts
 //	ctdb add    -db FILE -name N -spec LTL    register one contract
+//	ctdb register -db FILE -dir DIR           bulk-register a directory of specs
 //	ctdb query  -db FILE -spec LTL [-mode M]  run a query
 //	ctdb show   -db FILE [-name N]            list contracts / dump one automaton
 //	ctdb stats  -db FILE                      database and index statistics
@@ -44,6 +45,8 @@ func main() {
 		err = cmdGen(args)
 	case "add":
 		err = cmdAdd(args)
+	case "register":
+		err = cmdRegister(args)
 	case "query":
 		err = cmdQuery(args)
 	case "show":
@@ -76,6 +79,9 @@ commands:
   init   -db FILE -events a,b,c         create an empty database
   gen    -db FILE -n N [-props P]       add N generated contracts (P patterns each)
   add    -db FILE -name NAME -spec LTL  register one contract
+  register -db FILE -dir DIR [-workers N]
+                                        bulk-register a directory of spec files
+                                        (one contract per file, batch path)
   query  -db FILE -spec LTL [-mode opt|scan] [-parallel N]
          [-find-any] [-budget STEPS] [-timeout D]
          [-no-cache] [-repeat N]             evaluate a query

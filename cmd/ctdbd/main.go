@@ -66,6 +66,7 @@ type engine interface {
 	server.DB
 	SetParallelism(n int)
 	SetCacheSizes(queryCache, resultCache int)
+	SetIngestWorkers(n int)
 }
 
 func main() {
@@ -78,6 +79,7 @@ func main() {
 	checkpointEvery := flag.Int("checkpoint-every", store.DefaultCheckpointRecords, "auto-checkpoint after this many logged operations (negative disables)")
 	shards := flag.Int("shards", 0, "partition the database across this many scatter-gather shards (0 or 1 = unsharded; requires -data-dir)")
 	parallelism := flag.Int("parallelism", 0, "query worker-pool width (0 = GOMAXPROCS, 1 = sequential)")
+	ingestWorkers := flag.Int("ingest-workers", 0, "pipelined registration: POST /v1/contracts returns after a degraded (prefilter-only) insert and this many background workers complete the projection precompute (0 = as persisted in the snapshot, negative = force synchronous)")
 	queryTimeout := flag.Duration("query-timeout", 0, "server-side deadline per query evaluation (0 = none)")
 	stepBudget := flag.Int("step-budget", 0, "default kernel step budget per candidate check (0 = unlimited)")
 	queryCacheSize := flag.Int("query-cache-size", 0, "compiled-query (automaton) cache capacity (0 = default, negative = disabled)")
@@ -147,6 +149,12 @@ func main() {
 
 	if *parallelism > 0 {
 		db.SetParallelism(*parallelism)
+	}
+	switch {
+	case *ingestWorkers > 0:
+		db.SetIngestWorkers(*ingestWorkers)
+	case *ingestWorkers < 0:
+		db.SetIngestWorkers(0)
 	}
 	if *queryCacheSize != 0 || *resultCacheSize != 0 {
 		db.SetCacheSizes(*queryCacheSize, *resultCacheSize)
@@ -225,13 +233,19 @@ func newLogger(format string) (*slog.Logger, error) {
 // wire shape for /v1/health.
 func recoveryState(r store.RecoveryInfo) *server.RecoveryState {
 	return &server.RecoveryState{
-		Clean:            r.Clean,
-		SnapshotSeq:      r.SnapshotSeq,
-		SnapshotPath:     r.SnapshotPath,
-		SkippedSnapshots: r.SkippedSnapshots,
-		ReplayedRecords:  r.ReplayedRecords,
-		TruncatedBytes:   r.TruncatedBytes,
-		DurationUS:       r.Duration.Microseconds(),
+		Clean:             r.Clean,
+		SnapshotSeq:       r.SnapshotSeq,
+		SnapshotPath:      r.SnapshotPath,
+		SkippedSnapshots:  r.SkippedSnapshots,
+		ReplayedRecords:   r.ReplayedRecords,
+		TruncatedBytes:    r.TruncatedBytes,
+		DurationUS:        r.Duration.Microseconds(),
+		SnapshotFormat:    r.SnapshotFormat,
+		SnapshotDecodeUS:  r.SnapshotDecode.Microseconds(),
+		ArtifactRestoreUS: r.ArtifactRestore.Microseconds(),
+		WALReplayUS:       r.WALReplay.Microseconds(),
+		CompiledAdopted:   r.CompiledAdopted,
+		DegradedLoaded:    r.DegradedLoaded,
 	}
 }
 
@@ -273,6 +287,11 @@ func openStore(dir, events, fsync string, fsyncInterval time.Duration, checkpoin
 	default:
 		log.Printf("ctdbd: recovered %s: %d contracts (%s; snapshot %s + %d replayed ops, %d torn bytes truncated, %d snapshots skipped) in %s",
 			dir, n, layout, orFresh(r.SnapshotPath), r.ReplayedRecords, r.TruncatedBytes, len(r.SkippedSnapshots), r.Duration)
+	}
+	if r.SnapshotPath != "" || r.ReplayedRecords > 0 {
+		log.Printf("ctdbd: cold start breakdown: snapshot decode %dms, artifact restore %dms, WAL replay %dms (format v%d, %d compiled automata adopted, %d degraded re-pended)",
+			r.SnapshotDecode.Milliseconds(), r.ArtifactRestore.Milliseconds(), r.WALReplay.Milliseconds(),
+			r.SnapshotFormat, r.CompiledAdopted, r.DegradedLoaded)
 	}
 	return st, nil
 }

@@ -142,42 +142,91 @@ func (ps *ProjectionSet) For(queryEvents vocab.Set) *buchi.BA {
 	if part.Count == ps.Auto.NumStates() && relevant == ps.Auto.Events {
 		q = ps.Auto // no reduction and no label change: reuse as-is
 	} else {
-		q = quotientFromRepresentatives(ps.Auto, *part, relevant)
+		q = deriveQuotient(ps.Auto, *part, relevant)
 	}
 	ps.quotients[relevant] = q
 	return q
 }
 
-// quotientFromRepresentatives materializes the quotient using one
-// member per class. This is valid precisely because the partition is
-// the *coarsest forward bisimulation* for keep-projected labels: at
-// the fixpoint, all members of a class have identical (projected
-// label, target class) edge sets, so any member's edges are the
-// class's edges. Cost is O(classes · out-degree) instead of a union
-// over every member — this runs on the query path, where it matters.
-func quotientFromRepresentatives(a *buchi.BA, p Partition, keep vocab.Set) *buchi.BA {
-	q := buchi.New(p.Count)
-	q.Init = buchi.StateID(p.Class[a.Init])
+// deriveQuotient materializes the quotient using one member per class.
+// This is valid precisely because the partition is the *coarsest
+// forward bisimulation* for keep-projected labels: at the fixpoint,
+// all members of a class have identical (projected label, target
+// class) edge sets, so any member's edges are the class's edges.
+//
+// The derivation reads the parent's *compiled* CSR rows rather than
+// its pointer-rich edge lists: label projection is memoized once per
+// parent label-table entry instead of once per edge, and the quotient
+// comes out with its own compiled form attached — built by remapping
+// arrays, never by flattening. Together with formatVersion-3 snapshots
+// adopting the parent's compiled form, this keeps the entire query
+// path free of Compile calls: projecting a canonical (minimal) edge
+// row and re-canonicalizing yields exactly the row Compile would
+// produce from the raw quotient, because projection preserves label
+// implication. Cost is O(classes · out-degree) — this runs on the
+// query path, where it matters.
+func deriveQuotient(a *buchi.BA, p Partition, keep vocab.Set) *buchi.BA {
+	pc := a.Compiled()
+	proj := make([]buchi.Label, len(pc.Labels))
+	for i, l := range pc.Labels {
+		proj[i] = l.Project(keep)
+	}
 	rep := make([]int, p.Count)
 	for i := range rep {
 		rep[i] = -1
 	}
-	for s := range a.Out {
-		c := p.Class[s]
-		if rep[c] == -1 {
+	for s := 0; s < pc.N; s++ {
+		if c := p.Class[s]; rep[c] == -1 {
 			rep[c] = s
 		}
 	}
+	q := buchi.New(p.Count)
+	q.Init = buchi.StateID(p.Class[a.Init])
+	q.Events = a.Events
+	qc := &buchi.Compiled{
+		N:       p.Count,
+		Init:    q.Init,
+		Final:   make([]bool, p.Count),
+		Events:  a.Events,
+		EdgeOff: make([]int32, p.Count+1),
+	}
+	labelID := make(map[buchi.Label]int32)
+	var row []buchi.Edge
 	for c, s := range rep {
-		if a.Final[s] {
+		qc.EdgeOff[c] = int32(len(qc.EdgeTo))
+		if pc.Final[s] {
+			qc.Final[c] = true
 			q.SetFinal(buchi.StateID(c))
 		}
-		for _, e := range a.Out[s] {
-			q.AddEdge(buchi.StateID(c), e.Label.Project(keep), buchi.StateID(p.Class[e.To]))
+		row = row[:0]
+		for e := pc.EdgeOff[s]; e < pc.EdgeOff[s+1]; e++ {
+			row = append(row, buchi.Edge{
+				To:    buchi.StateID(p.Class[pc.EdgeTo[e]]),
+				Label: proj[pc.EdgeLabel[e]],
+			})
+		}
+		kept := buchi.CanonicalEdges(row)
+		for _, e := range kept {
+			q.AddEdge(buchi.StateID(c), e.Label, e.To)
+			id, ok := labelID[e.Label]
+			if !ok {
+				id = int32(len(qc.Labels))
+				qc.Labels = append(qc.Labels, e.Label)
+				labelID[e.Label] = id
+			}
+			qc.EdgeTo = append(qc.EdgeTo, int32(e.To))
+			qc.EdgeLabel = append(qc.EdgeLabel, id)
+		}
+		if d := len(kept); d > qc.MaxDeg {
+			qc.MaxDeg = d
 		}
 	}
-	q.Normalize()
-	q.Events = a.Events
+	qc.EdgeOff[p.Count] = int32(len(qc.EdgeTo))
+	if err := q.AdoptCompiled(qc); err != nil {
+		// The form was built alongside the automaton from the same
+		// arrays; a mismatch is a bug in this function, not bad input.
+		panic("bisim: derived quotient rejected its own compiled form: " + err.Error())
+	}
 	return q
 }
 

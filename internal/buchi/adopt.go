@@ -1,0 +1,140 @@
+package buchi
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// compileCount counts CSR flattenings (Compile calls) process-wide.
+// The cold-start tests assert a zero delta across snapshot load plus
+// the first queries: a formatVersion-3 snapshot restores every
+// compiled form, so nothing should flatten again.
+var compileCount atomic.Int64
+
+// CompileCount returns the number of CSR flattenings performed by this
+// process so far. Tests use deltas; the absolute value is meaningless.
+func CompileCount() int64 { return compileCount.Load() }
+
+// AdoptCompiled installs a previously built compiled form (typically
+// decoded from a formatVersion-3 snapshot or derived from a parent
+// automaton's compiled form) instead of flattening the automaton on
+// first use. The form is validated structurally against the automaton
+// — state count, initial state, acceptance set, events, CSR shape,
+// label table — but its edge set is trusted, exactly as Load trusts
+// the persisted automaton itself after Validate.
+//
+// Adoption is first-writer-wins with Compile: if the automaton already
+// flattened (or adopted), the call validates and returns without
+// replacing the existing form.
+func (a *BA) AdoptCompiled(c *Compiled) error {
+	if err := a.validateCompiled(c); err != nil {
+		return err
+	}
+	a.compileOnce.Do(func() { a.compiled = c })
+	return nil
+}
+
+func (a *BA) validateCompiled(c *Compiled) error {
+	if c == nil {
+		return fmt.Errorf("buchi: adopt: nil compiled form")
+	}
+	n := a.NumStates()
+	if c.N != n {
+		return fmt.Errorf("buchi: adopt: compiled form has %d states, automaton has %d", c.N, n)
+	}
+	if c.Init != a.Init {
+		return fmt.Errorf("buchi: adopt: compiled initial state %d, automaton has %d", c.Init, a.Init)
+	}
+	if c.Events != a.Events {
+		return fmt.Errorf("buchi: adopt: compiled event set %v, automaton has %v", c.Events, a.Events)
+	}
+	if len(c.Final) != n {
+		return fmt.Errorf("buchi: adopt: acceptance set covers %d states, automaton has %d", len(c.Final), n)
+	}
+	for s := 0; s < n; s++ {
+		if c.Final[s] != a.Final[s] {
+			return fmt.Errorf("buchi: adopt: acceptance of state %d disagrees with the automaton", s)
+		}
+	}
+	if len(c.EdgeOff) != n+1 {
+		return fmt.Errorf("buchi: adopt: offset table has %d entries, want %d", len(c.EdgeOff), n+1)
+	}
+	if len(c.EdgeTo) != len(c.EdgeLabel) {
+		return fmt.Errorf("buchi: adopt: %d edge targets but %d edge labels", len(c.EdgeTo), len(c.EdgeLabel))
+	}
+	if c.EdgeOff[0] != 0 || int(c.EdgeOff[n]) != len(c.EdgeTo) {
+		return fmt.Errorf("buchi: adopt: offset table spans [%d, %d], edges span [0, %d]",
+			c.EdgeOff[0], c.EdgeOff[n], len(c.EdgeTo))
+	}
+	maxDeg := 0
+	for s := 0; s < n; s++ {
+		d := int(c.EdgeOff[s+1] - c.EdgeOff[s])
+		if d < 0 {
+			return fmt.Errorf("buchi: adopt: offset table decreases at state %d", s)
+		}
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if c.MaxDeg != maxDeg {
+		return fmt.Errorf("buchi: adopt: MaxDeg %d, offsets imply %d", c.MaxDeg, maxDeg)
+	}
+	for i, to := range c.EdgeTo {
+		if to < 0 || int(to) >= n {
+			return fmt.Errorf("buchi: adopt: edge %d targets state %d of %d", i, to, n)
+		}
+		if l := c.EdgeLabel[i]; l < 0 || int(l) >= len(c.Labels) {
+			return fmt.Errorf("buchi: adopt: edge %d cites label %d of %d", i, l, len(c.Labels))
+		}
+	}
+	for i, l := range c.Labels {
+		if !l.Satisfiable() {
+			return fmt.Errorf("buchi: adopt: label %d is unsatisfiable", i)
+		}
+		if !l.Vars().SubsetOf(c.Events) {
+			return fmt.Errorf("buchi: adopt: label %d cites events outside the automaton's set", i)
+		}
+	}
+	return nil
+}
+
+// FromCompiled reconstructs a BA from a compiled form and adopts the
+// form, so the result never flattens. The snapshot import path uses it
+// to materialize persisted projection quotients; the reconstruction is
+// exact — state s of the compiled form is state s of the BA, edges in
+// CSR order — so re-compiling the result would reproduce the input.
+func FromCompiled(c *Compiled) (*BA, error) {
+	if c == nil {
+		return nil, fmt.Errorf("buchi: nil compiled form")
+	}
+	a := New(c.N)
+	if c.Init < 0 || (c.N > 0 && int(c.Init) >= c.N) {
+		return nil, fmt.Errorf("buchi: compiled initial state %d of %d", c.Init, c.N)
+	}
+	a.Init = c.Init
+	a.Events = c.Events
+	if len(c.Final) != c.N || len(c.EdgeOff) != c.N+1 {
+		return nil, fmt.Errorf("buchi: compiled form is malformed (final %d, offsets %d, states %d)",
+			len(c.Final), len(c.EdgeOff), c.N)
+	}
+	for s := 0; s < c.N; s++ {
+		if c.Final[s] {
+			a.SetFinal(StateID(s))
+		}
+		lo, hi := c.EdgeOff[s], c.EdgeOff[s+1]
+		if lo < 0 || hi < lo || int(hi) > len(c.EdgeTo) {
+			return nil, fmt.Errorf("buchi: compiled offsets for state %d span [%d, %d] of %d edges",
+				s, lo, hi, len(c.EdgeTo))
+		}
+		for e := lo; e < hi; e++ {
+			if id := c.EdgeLabel[e]; id < 0 || int(id) >= len(c.Labels) {
+				return nil, fmt.Errorf("buchi: compiled edge %d cites label %d of %d", e, id, len(c.Labels))
+			}
+			a.AddEdge(StateID(s), c.Labels[c.EdgeLabel[e]], StateID(c.EdgeTo[e]))
+		}
+	}
+	if err := a.AdoptCompiled(c); err != nil {
+		return nil, err
+	}
+	return a, nil
+}

@@ -21,11 +21,14 @@ import (
 //     redundant edges through projection) never pay for dead edges in
 //     the kernel inner loop.
 //
-// The compiled form is derived state: it is never serialized (the BA
-// is), and it is rebuilt from the BA on demand after a snapshot or WAL
-// replay restores the automaton. State identity is preserved — state s
-// of the BA is state s of the Compiled — so registration-time
-// precomputation indexed by StateID (seeds, Final) applies unchanged.
+// The compiled form is derived state, rebuilt from the BA on demand —
+// but rebuilding it is exactly the cold-start flattening tax, so
+// formatVersion-3 snapshots serialize it alongside the BA (all fields
+// are exported and gob-encodable) and Load installs it with
+// AdoptCompiled instead of re-deriving it. State identity is preserved
+// — state s of the BA is state s of the Compiled — so
+// registration-time precomputation indexed by StateID (seeds, Final)
+// applies unchanged.
 type Compiled struct {
 	N      int
 	Init   StateID
@@ -61,6 +64,7 @@ func (c *Compiled) Deg(s StateID) int { return int(c.EdgeOff[s+1] - c.EdgeOff[s]
 // stronger one redundant, for acceptance and for simultaneous-lasso
 // existence alike).
 func Compile(a *BA) *Compiled {
+	compileCount.Add(1)
 	n := a.NumStates()
 	c := &Compiled{
 		N:       n,
@@ -77,36 +81,7 @@ func Compile(a *BA) *Compiled {
 			continue
 		}
 		buf = append(buf[:0], out...)
-		sort.Slice(buf, func(i, j int) bool {
-			if buf[i].To != buf[j].To {
-				return buf[i].To < buf[j].To
-			}
-			ci, cj := buf[i].Label.LiteralCount(), buf[j].Label.LiteralCount()
-			if ci != cj {
-				return ci < cj // weakest labels first: they subsume
-			}
-			if buf[i].Label.Pos != buf[j].Label.Pos {
-				return buf[i].Label.Pos < buf[j].Label.Pos
-			}
-			return buf[i].Label.Neg < buf[j].Label.Neg
-		})
-		kept := buf[:0]
-		groupStart := 0 // first kept index of the current To-group
-		for i, e := range buf {
-			if i > 0 && e.To != buf[i-1].To {
-				groupStart = len(kept)
-			}
-			subsumed := false
-			for _, k := range kept[groupStart:] {
-				if k.Label.ContainedIn(e.Label) {
-					subsumed = true
-					break
-				}
-			}
-			if subsumed {
-				continue
-			}
-			kept = append(kept, e)
+		for _, e := range CanonicalEdges(buf) {
 			id, ok := labelID[e.Label]
 			if !ok {
 				id = int32(len(c.Labels))
@@ -116,12 +91,55 @@ func Compile(a *BA) *Compiled {
 			c.EdgeTo = append(c.EdgeTo, int32(e.To))
 			c.EdgeLabel = append(c.EdgeLabel, id)
 		}
-		if d := len(kept); d > c.MaxDeg {
+		if d := int(int32(len(c.EdgeTo)) - c.EdgeOff[s]); d > c.MaxDeg {
 			c.MaxDeg = d
 		}
 	}
 	c.EdgeOff[n] = int32(len(c.EdgeTo))
 	return c
+}
+
+// CanonicalEdges brings one state's out-edges into the canonical
+// compiled order — sorted by (target, literal count, label) — and
+// drops exact duplicates and subsumed edges. The slice is reordered in
+// place and the kept prefix returned. The result is the unique minimal
+// edge set per target, so any two language-equal rows canonicalize
+// identically; the quotient derivation in internal/bisim relies on
+// this to reproduce, without flattening, exactly what Compile would
+// build.
+func CanonicalEdges(buf []Edge) []Edge {
+	sort.Slice(buf, func(i, j int) bool {
+		if buf[i].To != buf[j].To {
+			return buf[i].To < buf[j].To
+		}
+		ci, cj := buf[i].Label.LiteralCount(), buf[j].Label.LiteralCount()
+		if ci != cj {
+			return ci < cj // weakest labels first: they subsume
+		}
+		if buf[i].Label.Pos != buf[j].Label.Pos {
+			return buf[i].Label.Pos < buf[j].Label.Pos
+		}
+		return buf[i].Label.Neg < buf[j].Label.Neg
+	})
+	kept := buf[:0]
+	groupStart := 0 // first kept index of the current To-group
+	for i, e := range buf {
+		if i > 0 && e.To != buf[i-1].To {
+			groupStart = len(kept)
+		}
+		subsumed := false
+		for _, k := range kept[groupStart:] {
+			if k.Label.ContainedIn(e.Label) {
+				subsumed = true
+				break
+			}
+		}
+		if subsumed {
+			continue
+		}
+		kept = append(kept, e)
+	}
+	return kept
 }
 
 // Compiled returns the automaton's compiled form, building it on first

@@ -11,6 +11,7 @@ import (
 	"contractdb/internal/ltl"
 	"contractdb/internal/ltl2ba"
 	"contractdb/internal/permission"
+	"contractdb/internal/prefilter"
 )
 
 // Registration names one specification for batch loading.
@@ -27,10 +28,27 @@ type BatchResult struct {
 }
 
 // RegisterBatch registers many contracts, running the expensive
-// per-contract work — automaton construction and projection
-// precomputation — on a worker pool. The paper notes this workload is
-// "completely parallel (each contract is simplified independently)";
-// only the prefilter-index insertion and id assignment are serialized.
+// per-contract work — automaton construction, projection
+// precomputation and prefilter preparation — on a worker pool. The
+// paper notes this workload is "completely parallel (each contract is
+// simplified independently)"; only id assignment and the prefilter
+// bitset merges are serialized, and the merge consumes pre-enumerated
+// node sets (prefilter.Prepare) so the serial section is bit-ORs, not
+// subset enumeration.
+//
+// Entries with identical specifications (canonical form) are
+// *deduplicated structurally*: translated once, sharing one automaton,
+// one checker, one projection state — N copies of a boilerplate
+// contract cost one translation and one bisimulation lattice. Each
+// still registers as a distinct contract under its own name and id.
+//
+// Unlike Register, RegisterBatch always completes registration at the
+// full tier before returning, even when an ingest pipeline is
+// configured — the parallelism here is the batch's own. That makes it
+// the deterministic reference path: a database built by RegisterBatch
+// has the same artifacts (and the same Save bytes) as one built by
+// synchronous Register calls.
+//
 // workers ≤ 0 selects GOMAXPROCS. Results are returned in input
 // order; failed entries (unsatisfiable, oversized, duplicate name) do
 // not abort the rest.
@@ -38,14 +56,6 @@ func (db *DB) RegisterBatch(specs []Registration, workers int) []BatchResult {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	type prepared struct {
-		auto        *buchi.BA
-		projections *bisim.ProjectionSet
-		elapsed     time.Duration
-		projElapsed time.Duration
-		err         error
-	}
-	prep := make([]prepared, len(specs))
 
 	// Pre-intern every atom serially: translation then only *reads*
 	// the vocabulary (Add returns early for known names), so workers
@@ -59,54 +69,94 @@ func (db *DB) RegisterBatch(specs []Registration, workers int) []BatchResult {
 		}
 	}
 
-	// Phase 1 (parallel): translate and precompute.
-	translate := func(spec *ltl.Expr) (*buchi.BA, error) {
-		if internErr != nil {
-			return nil, internErr
-		}
-		return ltl2ba.TranslateBounded(db.voc, spec, db.opts.MaxAutomatonStates)
+	// Group structurally identical specifications. Translation and
+	// precomputation are deterministic functions of the canonical form,
+	// so group members can share every derived artifact.
+	type group struct {
+		indices []int // input positions, ascending
+
+		auto     *buchi.BA
+		checker  *permission.Checker
+		proj     *projState
+		prep     prefilter.Prepared
+		elapsed  time.Duration
+		projTime time.Duration
+		err      error
+		unsat    bool // err is per-name; render it with each member's name
 	}
+	byKey := make(map[string]*group)
+	var groups []*group
+	order := make([]*group, len(specs))
+	for i, r := range specs {
+		key := r.Spec.String()
+		g, ok := byKey[key]
+		if !ok {
+			g = &group{}
+			byKey[key] = g
+			groups = append(groups, g)
+		}
+		g.indices = append(g.indices, i)
+		order[i] = g
+	}
+
+	// Phase 1 (parallel, one task per distinct spec): translate,
+	// precompute projections, enumerate prefilter nodes.
+	maxStates := db.opts.MaxAutomatonStates
+	prefilterK := db.index.K()
 	var wg sync.WaitGroup
-	work := make(chan int)
+	work := make(chan *group)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range work {
+			for g := range work {
 				start := time.Now()
-				auto, err := translate(specs[i].Spec)
+				if internErr != nil {
+					g.err = internErr
+					continue
+				}
+				spec := specs[g.indices[0]].Spec
+				auto, err := ltl2ba.TranslateBounded(db.voc, spec, maxStates)
 				if err != nil {
-					prep[i].err = err
+					g.err = err
 					continue
 				}
 				if auto.IsEmpty() {
-					prep[i].err = fmt.Errorf("core: contract %q allows no behavior (unsatisfiable specification)", specs[i].Name)
+					g.unsat = true
 					continue
 				}
 				tProj := time.Now()
-				prep[i].auto = auto
-				prep[i].projections = bisim.Precompute(auto, db.effectiveBudget(auto))
-				prep[i].projElapsed = time.Since(tProj)
-				prep[i].elapsed = time.Since(start)
+				ps := bisim.Precompute(auto, db.effectiveBudget(auto))
+				g.projTime = time.Since(tProj)
+				g.auto = auto
+				g.checker = permission.NewChecker(auto)
+				g.proj = &projState{ps: ps}
+				g.prep = prefilter.Prepare(auto, prefilterK)
+				g.elapsed = time.Since(start)
 			}
 		}()
 	}
-	for i := range specs {
-		work <- i
+	for _, g := range groups {
+		work <- g
 	}
 	close(work)
 	wg.Wait()
 
-	// Phase 2 (serialized): id assignment, duplicate checks, index
-	// insertion. One epoch bump covers the whole batch — cached query
+	// Phase 2 (serialized): id assignment, duplicate checks, prefilter
+	// merges. One epoch bump covers the whole batch — cached query
 	// results from before the batch are invalidated exactly once.
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	registered := 0
+	charged := make(map[*group]bool) // first member pays the group's cost
 	out := make([]BatchResult, len(specs))
-	for i, p := range prep {
-		if p.err != nil {
-			out[i].Err = p.err
+	for i, g := range order {
+		if g.unsat {
+			out[i].Err = fmt.Errorf("core: contract %q allows no behavior (unsatisfiable specification)", specs[i].Name)
+			continue
+		}
+		if g.err != nil {
+			out[i].Err = g.err
 			continue
 		}
 		name := specs[i].Name
@@ -118,22 +168,26 @@ func (db *DB) RegisterBatch(specs []Registration, workers int) []BatchResult {
 			continue
 		}
 		c := &Contract{
-			ID:          ContractID(len(db.contracts)),
-			Name:        name,
-			Spec:        specs[i].Spec,
-			auto:        p.auto,
-			checker:     permission.NewChecker(p.auto),
-			projections: p.projections,
+			ID:      ContractID(len(db.contracts)),
+			Name:    name,
+			Spec:    specs[i].Spec,
+			auto:    g.auto,
+			checker: g.checker,
+			proj:    g.proj,
 		}
 		if err := db.logRegisterLocked(c); err != nil {
 			out[i].Err = fmt.Errorf("core: contract %q: %w", name, err)
 			continue
 		}
 		t := time.Now()
-		db.index.Insert(int(c.ID), p.auto)
+		db.index.InsertPrepared(int(c.ID), g.prep)
 		db.indexTime += time.Since(t)
-		db.projectionTime += p.projElapsed
-		db.registerTime += p.elapsed
+		if !charged[g] {
+			charged[g] = true
+			db.translations++
+			db.projectionTime += g.projTime
+			db.registerTime += g.elapsed
+		}
 		db.contracts = append(db.contracts, c)
 		db.byName[name] = c
 		out[i].Contract = c

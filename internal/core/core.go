@@ -67,6 +67,15 @@ type Options struct {
 	// query, mode) → Result, invalidated by registration epoch). Zero
 	// selects DefaultResultCacheSize; negative disables it.
 	ResultCacheSize int
+	// IngestWorkers, when positive, pipelines registration: Register
+	// returns after translation, the write-ahead append and a degraded
+	// (no-projection, prefilter-only) insert, and this many background
+	// workers complete the projection precompute, promoting each
+	// contract to the full tier with an epoch bump. Degraded contracts
+	// answer every query correctly — the unprojected automaton is
+	// always a valid projection (§5.2) — just without the §5
+	// speedup. Zero or negative keeps registration fully synchronous.
+	IngestWorkers int
 }
 
 // Default capacities of the two query-cache tiers. Compiled automata
@@ -184,21 +193,63 @@ var Unoptimized = Mode{}
 // assigned in registration order.
 type ContractID int
 
+// Tier is a contract's registration completeness level.
+type Tier int
+
+const (
+	// TierFull means every registration artifact — including the
+	// projection precompute — is in place.
+	TierFull Tier = iota
+	// TierDegraded means the contract is queryable (automaton,
+	// checker, prefilter postings) but its projection precompute is
+	// still pending in the ingest pipeline. Answers are identical to
+	// the full tier; only the §5 projection speedup is missing.
+	TierDegraded
+)
+
+// String renders the tier for logs and metrics.
+func (t Tier) String() string {
+	if t == TierDegraded {
+		return "degraded"
+	}
+	return "full"
+}
+
+// projState bundles a contract's projection artifacts with the mutex
+// guarding their lazy caches. It is a separate, shareable object for
+// two reasons: the bulk-ingest path dedups structurally identical
+// automata — contracts sharing an automaton share one projState, and
+// so one quotient/checker cache and one lock — and the ingest
+// pipeline promotes a degraded contract by filling ps in, under the
+// same lock queries read it through.
+type projState struct {
+	mu sync.Mutex
+	// ps is nil while the contract is at the degraded tier.
+	ps       *bisim.ProjectionSet
+	checkers map[*buchi.BA]*permission.Checker
+}
+
 // Contract is a registered contract with its precomputed artifacts.
 type Contract struct {
 	ID   ContractID
 	Name string
 	Spec *ltl.Expr
 
-	auto        *buchi.BA
-	checker     *permission.Checker
-	projections *bisim.ProjectionSet
+	auto    *buchi.BA
+	checker *permission.Checker
+	proj    *projState
+}
 
-	// projMu guards the lazy caches inside projections and
-	// projCheckers; queries run under the DB's read lock and may race
-	// on these otherwise.
-	projMu       sync.Mutex
-	projCheckers map[*buchi.BA]*permission.Checker
+// Tier reports the contract's current registration tier. A degraded
+// contract becomes full when the ingest pipeline promotes it; the
+// transition is observable here and in RegistrationStats.
+func (c *Contract) Tier() Tier {
+	c.proj.mu.Lock()
+	defer c.proj.mu.Unlock()
+	if c.proj.ps == nil {
+		return TierDegraded
+	}
+	return TierFull
 }
 
 // checkerFor returns a permission checker for the smallest projection
@@ -207,20 +258,26 @@ type Contract struct {
 // reports whether the checker was served from the cache (false when a
 // quotient's checker had to be built on this call).
 func (c *Contract) checkerFor(queryEvents vocab.Set) (*permission.Checker, bool) {
-	c.projMu.Lock()
-	defer c.projMu.Unlock()
-	simplified := c.projections.For(queryEvents)
+	st := c.proj
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.ps == nil {
+		// Degraded tier: the unprojected automaton is always a valid
+		// projection for any query (§5.2), so the answer is unchanged.
+		return c.checker, true
+	}
+	simplified := st.ps.For(queryEvents)
 	if simplified == c.auto {
 		return c.checker, true
 	}
-	if ch, ok := c.projCheckers[simplified]; ok {
+	if ch, ok := st.checkers[simplified]; ok {
 		return ch, true
 	}
 	ch := permission.NewChecker(simplified)
-	if c.projCheckers == nil {
-		c.projCheckers = make(map[*buchi.BA]*permission.Checker)
+	if st.checkers == nil {
+		st.checkers = make(map[*buchi.BA]*permission.Checker)
 	}
-	c.projCheckers[simplified] = ch
+	st.checkers[simplified] = ch
 	return ch, false
 }
 
@@ -240,8 +297,8 @@ func (c *Contract) Events() vocab.Set { return c.auto.Events }
 // internal/store implements it over a wal.Log.
 type OpLog interface {
 	// LogRegister receives the encoded registration record (the
-	// byte-deterministic formatVersion-2 per-contract encoding,
-	// replayable via ApplyRegistration).
+	// byte-deterministic per-contract encoding of the current snapshot
+	// format, replayable via ApplyRegistration).
 	LogRegister(encoded []byte) error
 	// LogUnregister receives the name of the contract being removed.
 	LogUnregister(name string) error
@@ -269,10 +326,23 @@ type DB struct {
 	oplog    OpLog
 	autoname int
 
+	// ingest, when non-nil, is the bounded background pipeline that
+	// completes degraded registrations (see Options.IngestWorkers).
+	ingest *ingestPipeline
+
 	// registration-time cost accounting for the §7.4 measurements
 	registerTime   time.Duration
 	projectionTime time.Duration
 	indexTime      time.Duration
+
+	// translations counts LTL→BA translations performed by this DB's
+	// registration paths. A database restored from a snapshot (or WAL
+	// replay) performs none — the cold-start tests assert exactly that
+	// through RegistrationStats.
+	translations int64
+	// promotions counts degraded→full tier promotions completed by the
+	// ingest pipeline.
+	promotions int64
 
 	// metrics is the always-on query observability registry, exposed
 	// via Stats and the server's /v1/metrics endpoint. Lock-free: it
@@ -306,6 +376,9 @@ func NewDB(voc *vocab.Vocabulary, opts Options) *DB {
 		metrics: &metrics.Query{},
 	}
 	db.initCaches()
+	if opts.IngestWorkers > 0 {
+		db.ingest = newIngestPipeline(db, opts.IngestWorkers)
+	}
 	return db
 }
 
@@ -404,6 +477,14 @@ func (db *DB) ByName(name string) (*Contract, bool) {
 // With an OpLog attached, the fully validated registration is appended
 // to the log before it becomes visible; a log failure rejects the
 // registration with ErrDurability.
+//
+// With an ingest pipeline configured (Options.IngestWorkers,
+// SetIngestWorkers), Register returns as soon as the contract is
+// queryable at the degraded tier — translated, logged, prefiltered —
+// and the projection precompute completes in the background; WaitIdle
+// blocks until every pending promotion has landed. The pipeline's
+// queue is bounded, so sustained over-rate registration backpressures
+// here instead of growing without limit.
 func (db *DB) Register(name string, spec *ltl.Expr) (*Contract, error) {
 	start := time.Now()
 	// Claim the name first (minting a generated one consumes the
@@ -421,6 +502,7 @@ func (db *DB) Register(name string, spec *ltl.Expr) (*Contract, error) {
 		return nil, fmt.Errorf("core: contract %q already registered", name)
 	}
 	maxStates := db.opts.MaxAutomatonStates
+	pipeline := db.ingest
 	db.mu.Unlock()
 
 	auto, err := ltl2ba.TranslateBounded(db.voc, spec, maxStates)
@@ -435,26 +517,32 @@ func (db *DB) Register(name string, spec *ltl.Expr) (*Contract, error) {
 		Spec:    spec,
 		auto:    auto,
 		checker: permission.NewChecker(auto),
+		proj:    &projState{},
 	}
-	t := time.Now()
-	c.projections = bisim.Precompute(auto, db.effectiveBudget(auto))
-	projElapsed := time.Since(t)
+	var projElapsed time.Duration
+	if pipeline == nil {
+		t := time.Now()
+		c.proj.ps = bisim.Precompute(auto, db.effectiveBudget(auto))
+		projElapsed = time.Since(t)
+	}
 
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	// Re-check: an explicit name can race another registration in the
 	// unlocked window (a minted name cannot — the counter is claimed).
 	if _, dup := db.byName[name]; dup {
+		db.mu.Unlock()
 		return nil, fmt.Errorf("core: contract %q already registered", name)
 	}
 	c.ID = ContractID(len(db.contracts))
+	db.translations++
 	db.projectionTime += projElapsed
 
 	if err := db.logRegisterLocked(c); err != nil {
+		db.mu.Unlock()
 		return nil, fmt.Errorf("core: contract %q: %w", name, err)
 	}
 
-	t = time.Now()
+	t := time.Now()
 	db.index.Insert(int(c.ID), auto)
 	db.indexTime += time.Since(t)
 
@@ -462,6 +550,11 @@ func (db *DB) Register(name string, spec *ltl.Expr) (*Contract, error) {
 	db.byName[name] = c
 	db.epoch++
 	db.registerTime += time.Since(start)
+	db.mu.Unlock()
+
+	if pipeline != nil {
+		pipeline.enqueue(c)
+	}
 	return c, nil
 }
 
@@ -630,7 +723,8 @@ func (db *DB) QueryMode(spec *ltl.Expr, mode Mode) (*Result, error) {
 	return db.QueryModeCtx(nil, spec, mode)
 }
 
-// RegistrationStats reports the accumulated offline costs (§7.4).
+// RegistrationStats reports the accumulated offline costs (§7.4) and
+// the ingest pipeline's observable state.
 type RegistrationStats struct {
 	Contracts      int
 	Total          time.Duration
@@ -639,6 +733,21 @@ type RegistrationStats struct {
 	IndexNodes     int
 	IndexBytes     int
 	ProjectionRows int // total precomputed (subset, partition) entries
+
+	// Translations counts LTL→BA translations this DB's registration
+	// paths performed. Zero after a pure snapshot load or WAL replay:
+	// persisted automata are restored, never re-translated.
+	Translations int64
+	// Degraded counts contracts currently at the degraded tier
+	// (projection precompute pending).
+	Degraded int
+	// PendingIngest counts registrations queued or in flight in the
+	// ingest pipeline; IngestWorkers is the pipeline's width (zero
+	// when registration is synchronous). Promotions counts completed
+	// degraded→full transitions.
+	PendingIngest int
+	IngestWorkers int
+	Promotions    int64
 }
 
 // RegistrationStats returns the database's offline-cost counters.
@@ -646,24 +755,42 @@ func (db *DB) RegistrationStats() RegistrationStats {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	rs := RegistrationStats{
-		Contracts:   len(db.contracts),
-		Total:       db.registerTime,
-		IndexBuild:  db.indexTime,
-		Projections: db.projectionTime,
-		IndexNodes:  db.index.NodeCount(),
-		IndexBytes:  db.index.ApproxBytes(),
+		Contracts:    len(db.contracts),
+		Total:        db.registerTime,
+		IndexBuild:   db.indexTime,
+		Projections:  db.projectionTime,
+		IndexNodes:   db.index.NodeCount(),
+		IndexBytes:   db.index.ApproxBytes(),
+		Translations: db.translations,
+		Promotions:   db.promotions,
+	}
+	if db.ingest != nil {
+		rs.PendingIngest = db.ingest.pendingCount()
+		rs.IngestWorkers = db.ingest.workers
 	}
 	for _, c := range db.contracts {
-		rs.ProjectionRows += c.projections.PrecomputedSubsets
+		c.proj.mu.Lock()
+		if c.proj.ps == nil {
+			rs.Degraded++
+		} else {
+			rs.ProjectionRows += c.proj.ps.PrecomputedSubsets
+		}
+		c.proj.mu.Unlock()
 	}
 	return rs
 }
 
 // ProjectionStats returns the contract's projection precomputation
 // counters: distinct partitions and total precomputed subsets (the
-// §5.2 dedup observation).
+// §5.2 dedup observation). Both are zero while the contract is at the
+// degraded tier.
 func (c *Contract) ProjectionStats() (distinct, subsets int) {
-	return c.projections.DistinctPartitions, c.projections.PrecomputedSubsets
+	c.proj.mu.Lock()
+	defer c.proj.mu.Unlock()
+	if c.proj.ps == nil {
+		return 0, 0
+	}
+	return c.proj.ps.DistinctPartitions, c.proj.ps.PrecomputedSubsets
 }
 
 // QueryObligation returns the contracts that *guarantee* the property:

@@ -4,21 +4,27 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
-
-	"contractdb/internal/bisim"
-	"contractdb/internal/ltl"
-	"contractdb/internal/permission"
 )
 
 // The write-ahead log's per-operation encoding. A registration record
-// carries the same per-contract payload a formatVersion-2 snapshot
-// does — spec, translated automaton, projection partitions — so replay
-// restores the precomputed artifacts instead of redoing the paper's
-// expensive registration step, and byte for byte reproduces the state
-// a never-crashed database would hold. It also carries the full event
-// vocabulary at registration time (names in id order): automaton
-// labels are bitsets over vocabulary ids, so replay must intern events
-// in exactly the original order before decoding them.
+// carries the same per-contract payload a snapshot does — spec,
+// translated automaton, compiled CSR form, projection partitions and
+// quotient table — so replay restores the precomputed artifacts
+// instead of redoing the paper's expensive registration step, and byte
+// for byte reproduces the state a never-crashed database would hold.
+// It also carries the full event vocabulary at registration time
+// (names in id order): automaton labels are bitsets over vocabulary
+// ids, so replay must intern events in exactly the original order
+// before decoding them.
+//
+// A record written by a pipelined Register before promotion is
+// *deferred*: its contractSnapshot has an empty Projections (no Parts
+// — a completed precompute always holds at least the empty subset).
+// Replay re-enqueues deferred contracts on the ingest pipeline, or
+// promotes them inline when registration is synchronous; no separate
+// promotion record exists because checkpoints drain the pipeline
+// first, so a replayed suffix only ever re-runs work that was pending
+// at the crash.
 
 // registrationRecord is the payload of one WAL register record.
 type registrationRecord struct {
@@ -34,12 +40,7 @@ func (db *DB) encodeRegistration(c *Contract) ([]byte, error) {
 	rec := registrationRecord{
 		FormatVersion: formatVersion,
 		Events:        db.voc.Names(),
-		Contract: contractSnapshot{
-			Name:        c.Name,
-			Spec:        c.Spec.String(),
-			Auto:        c.auto,
-			Projections: c.projections.Export(),
-		},
+		Contract:      exportContract(c),
 	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
@@ -62,6 +63,17 @@ func RegistrationName(data []byte) (string, error) {
 	return rec.Contract.Name, nil
 }
 
+// RegistrationFormat peeks at the format version of an encoded
+// registration record; the sharded loader surfaces it in recovery
+// telemetry.
+func RegistrationFormat(data []byte) (int, error) {
+	var rec registrationRecord
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&rec); err != nil {
+		return 0, fmt.Errorf("core: registration record: %w", err)
+	}
+	return rec.FormatVersion, nil
+}
+
 // RegistrationExport is one contract re-encoded as a registration
 // record: the same bytes ApplyRegistration accepts. The sharded
 // engine's snapshot format is a list of these, which keeps snapshots
@@ -72,11 +84,15 @@ type RegistrationExport struct {
 }
 
 // ExportRegistrations re-encodes every contract as a registration
-// record, in id order, under one read lock. Each record carries the
-// full vocabulary as of the export (a superset of the vocabulary at
+// record, in id order, under one read lock. The ingest pipeline is
+// drained first, so the export is always full-tier — which also makes
+// the bytes independent of pipeline timing (the shard-count
+// determinism tests rely on that). Each record carries the full
+// vocabulary as of the export (a superset of the vocabulary at
 // original registration), which ApplyRegistration accepts: interning
 // the names in order reproduces the same id assignment.
 func (db *DB) ExportRegistrations() ([]RegistrationExport, error) {
+	db.WaitIdle()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	out := make([]RegistrationExport, 0, len(db.contracts))
@@ -97,17 +113,26 @@ func (db *DB) ExportRegistrations() ([]RegistrationExport, error) {
 // log suffix that may overlap the snapshot state (the checkpoint
 // boundary is a conservative lower bound; see internal/store).
 func (db *DB) ApplyRegistration(data []byte) error {
+	var stats LoadStats
+	return db.ApplyRegistrationStats(data, &stats)
+}
+
+// ApplyRegistrationStats is ApplyRegistration, additionally
+// accumulating the restore breakdown (contracts installed, compiled
+// forms adopted, degraded entries re-pended) into stats. The sharded
+// loader uses it to report recovery telemetry across shards.
+func (db *DB) ApplyRegistrationStats(data []byte, stats *LoadStats) error {
 	var rec registrationRecord
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&rec); err != nil {
 		return fmt.Errorf("core: replay: %w", err)
 	}
-	if rec.FormatVersion != formatVersion {
-		return fmt.Errorf("core: replay: record has format version %d, but this build supports only version %d",
-			rec.FormatVersion, formatVersion)
+	if rec.FormatVersion < minFormatVersion || rec.FormatVersion > formatVersion {
+		return fmt.Errorf("core: replay: record has format version %d, but this build supports versions %d through %d",
+			rec.FormatVersion, minFormatVersion, formatVersion)
 	}
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if _, dup := db.byName[rec.Contract.Name]; dup {
+		db.mu.Unlock()
 		return nil
 	}
 	// Restore the vocabulary the record's automaton ids were minted
@@ -117,39 +142,41 @@ func (db *DB) ApplyRegistration(data []byte) error {
 	for i, name := range rec.Events {
 		id, err := db.voc.Add(name)
 		if err != nil {
+			db.mu.Unlock()
 			return fmt.Errorf("core: replay: %w", err)
 		}
 		if int(id) != i {
+			db.mu.Unlock()
 			return fmt.Errorf("core: replay: event %q interned as id %d, record expects %d (log does not match snapshot)",
 				name, id, i)
 		}
 	}
-	spec, err := ltl.Parse(rec.Contract.Spec)
+	c, wasDeferred, err := restoreContract(ContractID(len(db.contracts)), rec.Contract, stats)
 	if err != nil {
-		return fmt.Errorf("core: replay: contract %q: %w", rec.Contract.Name, err)
-	}
-	if rec.Contract.Auto == nil {
-		return fmt.Errorf("core: replay: contract %q has no automaton", rec.Contract.Name)
-	}
-	if err := rec.Contract.Auto.Validate(); err != nil {
-		return fmt.Errorf("core: replay: contract %q: %w", rec.Contract.Name, err)
-	}
-	projections, err := bisim.ImportProjections(rec.Contract.Auto, rec.Contract.Projections)
-	if err != nil {
-		return fmt.Errorf("core: replay: contract %q: %w", rec.Contract.Name, err)
-	}
-	c := &Contract{
-		ID:          ContractID(len(db.contracts)),
-		Name:        rec.Contract.Name,
-		Spec:        spec,
-		auto:        rec.Contract.Auto,
-		checker:     permission.NewChecker(rec.Contract.Auto),
-		projections: projections,
+		db.mu.Unlock()
+		return fmt.Errorf("core: replay: %w", err)
 	}
 	db.index.Insert(int(c.ID), c.auto)
 	db.contracts = append(db.contracts, c)
 	db.byName[c.Name] = c
 	db.epoch++
+	stats.Contracts++
+	if stats.FormatVersion == 0 {
+		stats.FormatVersion = rec.FormatVersion
+	}
+	pipeline := db.ingest
+	db.mu.Unlock()
+
+	// A deferred record's projection work was pending at the crash;
+	// re-pend it. Enqueue happens outside db.mu: enqueue can block on
+	// backpressure, and the workers' promote needs db.mu to finish.
+	if wasDeferred {
+		if pipeline != nil {
+			pipeline.enqueue(c)
+		} else {
+			db.promote(c)
+		}
+	}
 	return nil
 }
 

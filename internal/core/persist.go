@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"time"
 
 	"contractdb/internal/bisim"
 	"contractdb/internal/buchi"
@@ -18,6 +19,13 @@ import (
 // a reloaded database answers queries at full speed without redoing
 // the precomputation (the paper's registration for 3000 contracts is
 // hours of work; ours is minutes, but still worth persisting).
+//
+// formatVersion 3 additionally persists the *compiled* artifacts: the
+// CSR form of every contract automaton (see buchi.Compiled) and a
+// budgeted table of materialized projection quotients (see
+// bisim.ProjectionSnapshot). A version-3 load performs zero LTL→BA
+// translations and zero CSR flattenings — the first query after Load
+// starts from exactly the state a long-running process would hold.
 
 type dbSnapshot struct {
 	FormatVersion int
@@ -32,21 +40,64 @@ type contractSnapshot struct {
 	Spec        string // LTL concrete syntax; reparsed on load
 	Auto        *buchi.BA
 	Projections bisim.ProjectionSnapshot
+
+	// Compiled is the automaton's CSR form (formatVersion ≥ 3). Load
+	// installs it with AdoptCompiled; nil (any v2 stream) makes the
+	// first use rebuild it, exactly as before.
+	Compiled *buchi.Compiled
+
+	// A snapshot of a pipelined database can capture contracts still at
+	// the degraded tier; they are stored with an empty Projections
+	// (zero Parts — impossible for a completed precompute, which always
+	// holds at least the empty subset) and re-enter the ingest pipeline
+	// on load.
 }
 
-// formatVersion 2 switched the prefilter and projection snapshot
-// tables from gob maps to sorted slices, making Save byte-
-// deterministic (the same database always serializes to the same
-// bytes, so snapshots can be diffed and content-addressed).
-const formatVersion = 2
+// Format history:
+//
+//   - 2 switched the prefilter and projection snapshot tables from gob
+//     maps to sorted slices, making Save byte-deterministic (the same
+//     database always serializes to the same bytes, so snapshots can
+//     be diffed and content-addressed).
+//   - 3 added the compiled artifacts (contract CSR forms, budgeted
+//     quotient tables) and degraded-tier entries. v2 streams remain
+//     loadable: their new fields decode as nil/empty, which the lazy
+//     paths treat as "build on first use".
+const (
+	formatVersion    = 3
+	minFormatVersion = 2
+)
 
-// SnapshotFormatVersion reports the snapshot format this build writes
-// (and the newest it reads); the server surfaces it as build info in
-// GET /v1/metrics.
+// SnapshotFormatVersion reports the snapshot format this build writes;
+// the server surfaces it as build info in GET /v1/metrics. Builds read
+// versions minFormatVersion through formatVersion.
 func SnapshotFormatVersion() int { return formatVersion }
 
+// exportContract renders one contract in its persisted form. Callers
+// hold db.mu (read suffices; proj.mu is taken inside). The compiled
+// form is exported through Compiled(), so a contract whose CSR form
+// was never needed pays the one flattening now rather than on every
+// future load.
+func exportContract(c *Contract) contractSnapshot {
+	cs := contractSnapshot{
+		Name:     c.Name,
+		Spec:     c.Spec.String(),
+		Auto:     c.auto,
+		Compiled: c.auto.Compiled(),
+	}
+	c.proj.mu.Lock()
+	if c.proj.ps != nil {
+		cs.Projections = c.proj.ps.Export()
+	}
+	c.proj.mu.Unlock()
+	return cs
+}
+
 // Save writes the database, including all precomputed index
-// structures, to w in gob format.
+// structures and compiled artifacts, to w in gob format. Contracts
+// still at the degraded tier are saved as degraded (callers wanting a
+// fully-promoted snapshot call WaitIdle first, as the store layer's
+// checkpoint does).
 func (db *DB) Save(w io.Writer) error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -57,12 +108,7 @@ func (db *DB) Save(w io.Writer) error {
 		Index:         db.index.Export(),
 	}
 	for _, c := range db.contracts {
-		snap.Contracts = append(snap.Contracts, contractSnapshot{
-			Name:        c.Name,
-			Spec:        c.Spec.String(),
-			Auto:        c.auto,
-			Projections: c.projections.Export(),
-		})
+		snap.Contracts = append(snap.Contracts, exportContract(c))
 	}
 	if err := gob.NewEncoder(w).Encode(snap); err != nil {
 		return fmt.Errorf("core: save: %w", err)
@@ -70,61 +116,134 @@ func (db *DB) Save(w io.Writer) error {
 	return nil
 }
 
+// LoadStats breaks a Load down for the cold-start telemetry: where
+// the time went and how much re-derivation the snapshot avoided.
+type LoadStats struct {
+	FormatVersion int
+	Contracts     int
+	// CompiledAdopted counts automata whose CSR form came from the
+	// snapshot (== Contracts for a v3 stream; 0 for v2).
+	CompiledAdopted int
+	// Degraded counts contracts restored at the degraded tier and
+	// re-enqueued for promotion.
+	Degraded int
+	// Decode is the gob wire-decode time; Restore is everything after —
+	// validation, artifact adoption, checker seeding, index and
+	// projection reconstruction.
+	Decode  time.Duration
+	Restore time.Duration
+}
+
 // Load reads a database previously written by Save.
 func Load(r io.Reader) (*DB, error) {
+	db, _, err := LoadWithStats(r)
+	return db, err
+}
+
+// LoadWithStats is Load, additionally reporting the recovery
+// breakdown the store layer and /v1/health surface.
+func LoadWithStats(r io.Reader) (*DB, LoadStats, error) {
+	var stats LoadStats
 	var snap dbSnapshot
+	t := time.Now()
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("core: load: %w", err)
+		return nil, stats, fmt.Errorf("core: load: %w", err)
 	}
-	if snap.FormatVersion != formatVersion {
-		return nil, fmt.Errorf("core: load: snapshot has format version %d, but this build supports only version %d (re-save with a matching build or re-register from specifications)",
-			snap.FormatVersion, formatVersion)
+	stats.Decode = time.Since(t)
+	stats.FormatVersion = snap.FormatVersion
+	if snap.FormatVersion < minFormatVersion || snap.FormatVersion > formatVersion {
+		return nil, stats, fmt.Errorf("core: load: snapshot has format version %d, but this build supports versions %d through %d (re-save with a matching build or re-register from specifications)",
+			snap.FormatVersion, minFormatVersion, formatVersion)
 	}
+	t = time.Now()
 	voc, err := vocab.FromNames(snap.Events...)
 	if err != nil {
-		return nil, fmt.Errorf("core: load: %w", err)
+		return nil, stats, fmt.Errorf("core: load: %w", err)
 	}
 	db := NewDB(voc, snap.Opts)
 	db.index, err = prefilter.Import(snap.Index)
 	if err != nil {
-		return nil, fmt.Errorf("core: load: %w", err)
+		return nil, stats, fmt.Errorf("core: load: %w", err)
 	}
+	var deferred []*Contract
 	for i, cs := range snap.Contracts {
-		spec, err := ltl.Parse(cs.Spec)
+		c, wasDeferred, err := restoreContract(ContractID(i), cs, &stats)
 		if err != nil {
-			return nil, fmt.Errorf("core: load: contract %q: %w", cs.Name, err)
-		}
-		if cs.Auto == nil {
-			return nil, fmt.Errorf("core: load: contract %q has no automaton", cs.Name)
-		}
-		if err := cs.Auto.Validate(); err != nil {
-			return nil, fmt.Errorf("core: load: contract %q: %w", cs.Name, err)
-		}
-		projections, err := bisim.ImportProjections(cs.Auto, cs.Projections)
-		if err != nil {
-			return nil, fmt.Errorf("core: load: contract %q: %w", cs.Name, err)
-		}
-		c := &Contract{
-			ID:          ContractID(i),
-			Name:        cs.Name,
-			Spec:        spec,
-			auto:        cs.Auto,
-			checker:     permission.NewChecker(cs.Auto),
-			projections: projections,
+			return nil, stats, fmt.Errorf("core: load: %w", err)
 		}
 		if _, dup := db.byName[c.Name]; dup {
-			return nil, fmt.Errorf("core: load: duplicate contract name %q", c.Name)
+			return nil, stats, fmt.Errorf("core: load: duplicate contract name %q", c.Name)
 		}
 		db.contracts = append(db.contracts, c)
 		db.byName[c.Name] = c
+		if wasDeferred {
+			deferred = append(deferred, c)
+		}
 	}
 	if db.index.Len() != len(db.contracts) {
-		return nil, fmt.Errorf("core: load: index covers %d contracts, database has %d",
+		return nil, stats, fmt.Errorf("core: load: index covers %d contracts, database has %d",
 			db.index.Len(), len(db.contracts))
 	}
 	// A load is a registration event for cache purposes: a fresh epoch
 	// guarantees nothing cached against a previous in-memory lifetime
 	// of this data could ever be considered valid.
 	db.epoch++
-	return db, nil
+	// Re-enter deferred contracts into the pipeline; without one (the
+	// snapshot was saved under different options) promote on the spot,
+	// preserving the invariant that a synchronous database is always at
+	// the full tier.
+	for _, c := range deferred {
+		if db.ingest != nil {
+			db.ingest.enqueue(c)
+		} else {
+			db.promote(c)
+		}
+	}
+	stats.Contracts = len(db.contracts)
+	stats.Restore = time.Since(t)
+	return db, stats, nil
+}
+
+// restoreContract validates and reconstructs one persisted contract:
+// parse, automaton validation, compiled-form adoption (v3), checker
+// seeding, projection import. Degraded entries (empty Projections)
+// come back with proj.ps nil; the caller re-enqueues them.
+func restoreContract(id ContractID, cs contractSnapshot, stats *LoadStats) (*Contract, bool, error) {
+	spec, err := ltl.Parse(cs.Spec)
+	if err != nil {
+		return nil, false, fmt.Errorf("contract %q: %w", cs.Name, err)
+	}
+	if cs.Auto == nil {
+		return nil, false, fmt.Errorf("contract %q has no automaton", cs.Name)
+	}
+	if err := cs.Auto.Validate(); err != nil {
+		return nil, false, fmt.Errorf("contract %q: %w", cs.Name, err)
+	}
+	if cs.Compiled != nil {
+		// Adopt before NewChecker: the checker's construction reads the
+		// compiled form, so adoption order is what makes the whole load
+		// path flatten-free.
+		if err := cs.Auto.AdoptCompiled(cs.Compiled); err != nil {
+			return nil, false, fmt.Errorf("contract %q: compiled form: %w", cs.Name, err)
+		}
+		stats.CompiledAdopted++
+	}
+	c := &Contract{
+		ID:      id,
+		Name:    cs.Name,
+		Spec:    spec,
+		auto:    cs.Auto,
+		checker: permission.NewChecker(cs.Auto),
+		proj:    &projState{},
+	}
+	if len(cs.Projections.Parts) == 0 {
+		stats.Degraded++
+		return c, true, nil
+	}
+	ps, err := bisim.ImportProjections(cs.Auto, cs.Projections)
+	if err != nil {
+		return nil, false, fmt.Errorf("contract %q: %w", cs.Name, err)
+	}
+	c.proj.ps = ps
+	return c, false, nil
 }

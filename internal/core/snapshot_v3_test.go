@@ -1,0 +1,224 @@
+package core_test
+
+import (
+	"bytes"
+	"os"
+	"testing"
+	"time"
+
+	"contractdb/internal/buchi"
+	"contractdb/internal/core"
+	"contractdb/internal/datagen"
+	"contractdb/internal/ltl"
+	"contractdb/internal/ltl2ba"
+)
+
+// The golden fixtures under testdata/ hold the same corpus — 20
+// contracts drawn from datagen seed 42 with MaxAutomatonStates 300 —
+// saved once under formatVersion 2 (pre compiled-artifact code) and
+// once under formatVersion 3. Together they pin both halves of the
+// compatibility contract: v2 streams must keep loading (upgrade on
+// load), and v3 streams must restore query-ready state without
+// re-deriving anything.
+
+// goldenCorpus rebuilds the fixtures' corpus from the generator; the
+// draw is fully deterministic, so this is the ground truth both
+// goldens were saved from.
+func goldenCorpus(t *testing.T) *core.DB {
+	t.Helper()
+	voc := datagen.NewVocabulary()
+	db := core.NewDB(voc, core.Options{MaxAutomatonStates: 300})
+	gen := datagen.New(voc, 42)
+	for db.Len() < 20 {
+		if _, err := db.Register("", gen.Specification(3)); err != nil {
+			continue
+		}
+	}
+	return db
+}
+
+func loadGolden(t *testing.T, path string) (*core.DB, core.LoadStats) {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	db, stats, err := core.LoadWithStats(f)
+	if err != nil {
+		t.Fatalf("load %s: %v", path, err)
+	}
+	return db, stats
+}
+
+// goldenQueries is a fixed query mix against the fixtures' vocabulary.
+func goldenQueries(t *testing.T, db *core.DB) []*ltl.Expr {
+	t.Helper()
+	gen := datagen.New(db.Vocabulary(), 7)
+	var out []*ltl.Expr
+	for len(out) < 12 {
+		out = append(out, gen.Specification(2))
+	}
+	return out
+}
+
+func assertSameAnswers(t *testing.T, got, want *core.DB, queries []*ltl.Expr, label string) {
+	t.Helper()
+	modes := []core.Mode{
+		core.Unoptimized,
+		{Prefilter: true},
+		{Bisim: true},
+		core.Optimized,
+	}
+	for qi, q := range queries {
+		for _, m := range modes {
+			rw, err := want.QueryMode(q, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rg, err := got.QueryMode(q, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wn, gn := names(rw), names(rg)
+			if len(wn) != len(gn) {
+				t.Fatalf("%s: query %d mode %+v: got %v, want %v", label, qi, m, gn, wn)
+			}
+			for n := range wn {
+				if !gn[n] {
+					t.Fatalf("%s: query %d mode %+v lost match %s", label, qi, m, n)
+				}
+			}
+		}
+	}
+}
+
+// TestLoadV2Golden: a v3 build must still read v2 snapshots — and the
+// upgraded state must be observationally identical to registering the
+// same corpus from scratch, down to the re-saved bytes (the upgrade
+// derives exactly the artifacts a fresh registration builds).
+func TestLoadV2Golden(t *testing.T) {
+	db, stats := loadGolden(t, "testdata/snapshot-v2.golden")
+	ref := goldenCorpus(t)
+	if stats.FormatVersion != 2 {
+		t.Fatalf("fixture reports format %d, want 2", stats.FormatVersion)
+	}
+	if stats.Contracts != 20 || db.Len() != 20 {
+		t.Fatalf("loaded %d contracts, want 20", db.Len())
+	}
+	if stats.CompiledAdopted != 0 {
+		t.Errorf("v2 stream adopted %d compiled forms; it carries none", stats.CompiledAdopted)
+	}
+	if stats.Degraded != 0 {
+		t.Errorf("v2 stream restored %d degraded contracts; all were saved at the full tier", stats.Degraded)
+	}
+	assertSameAnswers(t, db, ref, goldenQueries(t, ref), "v2 golden vs fresh registration")
+
+	// Re-saving the upgraded database writes a v3 stream with the same
+	// bytes a fresh registration saves: translation and derivation are
+	// deterministic, so the upgrade path must converge on them.
+	var up, fresh bytes.Buffer
+	if err := db.Save(&up); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Save(&fresh); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(up.Bytes(), fresh.Bytes()) {
+		t.Errorf("v2 upgrade re-save differs from fresh registration save (%d vs %d bytes)", up.Len(), fresh.Len())
+	}
+}
+
+// TestLoadV3Golden: the committed v3 fixture loads with zero LTL→BA
+// translations and zero CSR flattenings — every compiled form comes
+// from the stream — and answers queries identically to the v2 fixture
+// and to fresh registration.
+func TestLoadV3Golden(t *testing.T) {
+	ref := goldenCorpus(t)
+
+	t0 := ltl2ba.TranslationCount()
+	c0 := buchi.CompileCount()
+	db, stats := loadGolden(t, "testdata/snapshot-v3.golden")
+	if d := ltl2ba.TranslationCount() - t0; d != 0 {
+		t.Errorf("v3 load performed %d LTL→BA translations, want 0", d)
+	}
+	if d := buchi.CompileCount() - c0; d != 0 {
+		t.Errorf("v3 load performed %d CSR flattenings, want 0", d)
+	}
+	if stats.FormatVersion != 3 {
+		t.Fatalf("fixture reports format %d, want 3", stats.FormatVersion)
+	}
+	if stats.CompiledAdopted != 20 {
+		t.Errorf("adopted %d compiled forms, want 20", stats.CompiledAdopted)
+	}
+
+	// Every contract automaton's CSR form must already be resident:
+	// forcing them all costs zero Compile calls, so the first query
+	// cannot flatten anything either.
+	for _, c := range db.Contracts() {
+		c.Automaton().Compiled()
+	}
+	if d := buchi.CompileCount() - c0; d != 0 {
+		t.Errorf("first use of loaded automata flattened %d CSR forms, want 0 (adoption failed)", d)
+	}
+
+	assertSameAnswers(t, db, ref, goldenQueries(t, ref), "v3 golden vs fresh registration")
+
+	// v2 and v3 fixtures hold the same corpus; their loads re-save to
+	// identical (v3) bytes.
+	v2db, _ := loadGolden(t, "testdata/snapshot-v2.golden")
+	var from2, from3 bytes.Buffer
+	if err := v2db.Save(&from2); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Save(&from3); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(from2.Bytes(), from3.Bytes()) {
+		t.Errorf("v2 and v3 fixtures re-save to different bytes (%d vs %d)", from2.Len(), from3.Len())
+	}
+}
+
+// TestColdStartRatio: loading a v3 snapshot must be at least 10×
+// faster than re-registering the same corpus — the tentpole claim at a
+// test-sized corpus (the committed BENCH series measures larger ones).
+func TestColdStartRatio(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cold-start ratio needs a real corpus; skipped in -short")
+	}
+	voc := datagen.NewVocabulary()
+	gen := datagen.New(voc, 3)
+	// The benchmark corpus regime (5-property contracts, where
+	// projection precompute dominates registration); the committed
+	// BENCH series extends the same measurement to larger sizes.
+	const size = 50
+
+	start := time.Now()
+	db := core.NewDB(voc, core.Options{MaxAutomatonStates: 300})
+	for db.Len() < size {
+		if _, err := db.Register("", gen.Specification(datagen.SimpleContracts.Properties)); err != nil {
+			continue
+		}
+	}
+	registerTime := time.Since(start)
+
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	start = time.Now()
+	loaded, err := core.Load(bytes.NewReader(buf.Bytes()))
+	loadTime := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != size {
+		t.Fatalf("loaded %d contracts, want %d", loaded.Len(), size)
+	}
+	ratio := float64(registerTime) / float64(loadTime)
+	t.Logf("register %v, load %v: %.1fx", registerTime.Round(time.Millisecond), loadTime.Round(time.Millisecond), ratio)
+	if ratio < 10 {
+		t.Errorf("cold start from snapshot only %.1fx faster than re-registration, want >= 10x", ratio)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"contractdb/internal/bisim"
 	"contractdb/internal/buchi"
@@ -43,6 +44,15 @@ func Translate(voc *vocab.Vocabulary, f *ltl.Expr) (*buchi.BA, error) {
 	return TranslateBounded(voc, f, 0)
 }
 
+// translations counts every translation started, process-wide. The
+// cold-start tests assert a snapshot load performs zero translations
+// by diffing this counter around the load.
+var translations atomic.Int64
+
+// TranslationCount returns the process-wide number of LTL→BA
+// translations started since program start.
+func TranslationCount() int64 { return translations.Load() }
+
 // ErrTooLarge reports that a bounded translation gave up because an
 // intermediate (or the final) automaton exceeded the caller's state
 // limit. Callers that reject oversized contracts anyway (the
@@ -57,6 +67,7 @@ var ErrTooLarge = errors.New("ltl2ba: automaton exceeds the state bound")
 // shrink intermediates, so the early-abort threshold is deliberately
 // loose).
 func TranslateBounded(voc *vocab.Vocabulary, f *ltl.Expr, maxStates int) (*buchi.BA, error) {
+	translations.Add(1)
 	cited, err := eventSet(voc, f)
 	if err != nil {
 		return nil, err

@@ -75,8 +75,25 @@ func (ix *Index) ApproxBytes() int {
 // be dense and increasing (the broker assigns them); re-registering an
 // id extends its node memberships.
 func (ix *Index) Insert(id int, a *buchi.BA) {
-	if id >= ix.n {
-		ix.n = id + 1
+	ix.InsertPrepared(id, Prepare(a, ix.k))
+}
+
+// Prepared is the id-independent part of one contract's index
+// insertion: the set of literal-set nodes the contract's label
+// expansions touch. Enumerating it is the expensive half of Insert —
+// every subset of every expansion up to size k — and it needs neither
+// the contract's id nor the index, so the bulk-ingest path computes it
+// on the registration worker pool and leaves only bitset merges on the
+// serialized path.
+type Prepared struct {
+	touched []buchi.Label
+}
+
+// Prepare enumerates the literal-set nodes automaton a touches at
+// depth k. The result is reusable across indexes of the same depth.
+func Prepare(a *buchi.BA, k int) Prepared {
+	if k <= 0 {
+		k = DefaultK
 	}
 	// Distinct expansions, not distinct labels: E(γ) collapses labels
 	// differing only in literals the contract leaves free.
@@ -89,17 +106,31 @@ func (ix *Index) Insert(id int, a *buchi.BA) {
 	touched := make(map[buchi.Label]struct{})
 	for exp := range expansions {
 		lits := literalsOf(exp)
-		forEachSubset(lits, ix.k, func(l buchi.Label) {
+		forEachSubset(lits, k, func(l buchi.Label) {
 			touched[l] = struct{}{}
 		})
 	}
+	p := Prepared{touched: make([]buchi.Label, 0, len(touched))}
 	for l := range touched {
+		p.touched = append(p.touched, l)
+	}
+	return p
+}
+
+// InsertPrepared merges a prepared insertion under the given id. The
+// preparation must have been computed at this index's depth K.
+func (ix *Index) InsertPrepared(id int, p Prepared) {
+	if id >= ix.n {
+		ix.n = id + 1
+	}
+	w := id / 64
+	bit := uint64(1) << uint(id%64)
+	for _, l := range p.touched {
 		words := ix.nodes[l]
-		w := id / 64
 		for len(words) <= w {
 			words = append(words, 0)
 		}
-		words[w] |= 1 << uint(id%64)
+		words[w] |= bit
 		ix.nodes[l] = words
 	}
 }

@@ -75,6 +75,17 @@ func (c *Client) Register(name, spec string) (ContractInfo, error) {
 	return out, err
 }
 
+// RegisterBulk registers many contracts in one request through the
+// deduplicating batch path (POST /v1/contracts/bulk). Per-entry
+// outcomes come back in input order; the call succeeds as long as at
+// least one contract registered.
+func (c *Client) RegisterBulk(contracts []RegisterRequest, workers int) (BulkRegisterResponse, error) {
+	var out BulkRegisterResponse
+	err := c.do(http.MethodPost, "/v1/contracts/bulk",
+		BulkRegisterRequest{Contracts: contracts, Workers: workers}, &out)
+	return out, err
+}
+
 // Unregister removes a contract by name.
 func (c *Client) Unregister(name string) error {
 	return c.do(http.MethodDelete, "/v1/contracts/"+name, nil, nil)

@@ -63,6 +63,7 @@ type DB interface {
 	Contracts() []*core.Contract
 	ByName(name string) (*core.Contract, bool)
 	RegisterLTL(name, src string) (*core.Contract, error)
+	RegisterBatch(specs []core.Registration, workers int) []core.BatchResult
 	Unregister(name string) error
 	QueryModeCtx(ctx context.Context, spec *ltl.Expr, mode core.Mode) (*core.Result, error)
 	RegistrationStats() core.RegistrationStats
@@ -127,6 +128,7 @@ func New(db DB) *Server {
 	s.mux.HandleFunc("GET /v1/contracts", s.handleList)
 	s.mux.HandleFunc("GET /v1/contracts/{name}", s.handleGet)
 	s.mux.HandleFunc("POST /v1/contracts", s.handleRegister)
+	s.mux.HandleFunc("POST /v1/contracts/bulk", s.handleRegisterBulk)
 	s.mux.HandleFunc("DELETE /v1/contracts/{name}", s.handleUnregister)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
@@ -231,6 +233,16 @@ type RecoveryState struct {
 	ReplayedRecords  int      `json:"replayed_records"`
 	TruncatedBytes   int64    `json:"truncated_bytes"`
 	DurationUS       int64    `json:"duration_us"`
+
+	// Cold-start breakdown: where the recovery time went and how much
+	// re-derivation the persisted artifacts avoided (formatVersion 3
+	// restores compiled automata instead of re-flattening them).
+	SnapshotFormat    int   `json:"snapshot_format,omitempty"`
+	SnapshotDecodeUS  int64 `json:"snapshot_decode_us"`
+	ArtifactRestoreUS int64 `json:"artifact_restore_us"`
+	WALReplayUS       int64 `json:"wal_replay_us"`
+	CompiledAdopted   int   `json:"compiled_adopted"`
+	DegradedLoaded    int   `json:"degraded_loaded,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -325,6 +337,76 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusCreated, s.contractInfo(c, true))
+}
+
+// BulkRegisterRequest registers many contracts in one call. The batch
+// is deduplicated structurally (identical specs share one translation
+// and one projection lattice) and the expensive per-contract work runs
+// on a worker pool; see core.DB.RegisterBatch.
+type BulkRegisterRequest struct {
+	Contracts []RegisterRequest `json:"contracts"`
+	// Workers sizes the batch worker pool; 0 selects GOMAXPROCS.
+	Workers int `json:"workers,omitempty"`
+}
+
+// BulkRegisterResult is one entry's outcome, in input order.
+type BulkRegisterResult struct {
+	Name  string `json:"name,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// BulkRegisterResponse summarizes a bulk registration.
+type BulkRegisterResponse struct {
+	Registered int                  `json:"registered"`
+	Failed     int                  `json:"failed"`
+	Results    []BulkRegisterResult `json:"results"`
+}
+
+func (s *Server) handleRegisterBulk(w http.ResponseWriter, r *http.Request) {
+	var req BulkRegisterRequest
+	if err := decodeBodyN(r, &req, 64<<20); err != nil {
+		writeErr(w, r, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Contracts) == 0 {
+		writeErr(w, r, http.StatusBadRequest, errors.New("contracts is required"))
+		return
+	}
+	specs := make([]core.Registration, len(req.Contracts))
+	for i, c := range req.Contracts {
+		if strings.TrimSpace(c.Spec) == "" {
+			writeErr(w, r, http.StatusBadRequest, fmt.Errorf("contracts[%d]: spec is required", i))
+			return
+		}
+		spec, err := ltl.Parse(c.Spec)
+		if err != nil {
+			writeErr(w, r, http.StatusBadRequest, fmt.Errorf("contracts[%d]: %w", i, err))
+			return
+		}
+		specs[i] = core.Registration{Name: c.Name, Spec: spec}
+	}
+	results := s.db.RegisterBatch(specs, req.Workers)
+	resp := BulkRegisterResponse{Results: make([]BulkRegisterResult, len(results))}
+	for i, res := range results {
+		if res.Err != nil {
+			resp.Failed++
+			resp.Results[i] = BulkRegisterResult{Error: res.Err.Error()}
+			continue
+		}
+		resp.Registered++
+		resp.Results[i] = BulkRegisterResult{Name: res.Contract.Name}
+	}
+	if s.Persist != nil && resp.Registered > 0 {
+		if err := s.Persist(); err != nil {
+			writeErr(w, r, http.StatusInternalServerError, fmt.Errorf("registered %d but snapshot failed: %w", resp.Registered, err))
+			return
+		}
+	}
+	status := http.StatusCreated
+	if resp.Registered == 0 {
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, resp)
 }
 
 func (s *Server) handleUnregister(w http.ResponseWriter, r *http.Request) {
@@ -511,6 +593,15 @@ type StatsResponse struct {
 	IndexBuildMS     int64 `json:"index_build_ms"`
 	ProjectionsMS    int64 `json:"projections_ms"`
 	VocabularyEvents int   `json:"vocabulary_events"`
+	// Ingest-pipeline state: LTL→BA translations performed by this
+	// process (zero after a pure snapshot load), contracts still at the
+	// degraded tier, queued/in-flight promotions, completed promotions,
+	// and the pipeline width.
+	Translations  int64 `json:"translations"`
+	Degraded      int   `json:"degraded"`
+	PendingIngest int   `json:"pending_ingest"`
+	Promotions    int64 `json:"promotions"`
+	IngestWorkers int   `json:"ingest_workers"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -524,6 +615,11 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		IndexBuildMS:     rs.IndexBuild.Milliseconds(),
 		ProjectionsMS:    rs.Projections.Milliseconds(),
 		VocabularyEvents: s.db.Vocabulary().Len(),
+		Translations:     rs.Translations,
+		Degraded:         rs.Degraded,
+		PendingIngest:    rs.PendingIngest,
+		Promotions:       rs.Promotions,
+		IngestWorkers:    rs.IngestWorkers,
 	})
 }
 
@@ -628,6 +724,19 @@ func (s *Server) handlePrometheus(w http.ResponseWriter, _ *http.Request) {
 	p.Gauge("ctdb_query_cache_entries", "Tier-1 compilation cache occupancy.", float64(st.Caches.QueryCacheLen))
 	p.Gauge("ctdb_result_cache_entries", "Tier-2 result cache occupancy.", float64(st.Caches.ResultCacheLen))
 	p.Gauge("ctdb_uptime_seconds", "Seconds since the server started.", s.uptime())
+	p.Gauge("ctdb_contracts_degraded", "Contracts at the degraded tier (projection precompute pending).", float64(st.Registration.Degraded))
+	p.Gauge("ctdb_ingest_pending", "Registrations queued or in flight in the ingest pipeline.", float64(st.Registration.PendingIngest))
+	p.Gauge("ctdb_ingest_promotions_total", "Completed degraded-to-full tier promotions.", float64(st.Registration.Promotions))
+	p.Gauge("ctdb_registration_translations_total", "LTL-to-BA translations performed by registration paths this process.", float64(st.Registration.Translations))
+	if rec := s.Recovery; rec != nil {
+		p.Gauge("ctdb_cold_start_seconds", "Total recovery time at process start.", float64(rec.DurationUS)/1e6)
+		p.Gauge("ctdb_cold_start_snapshot_decode_seconds", "Recovery time spent gob-decoding the snapshot.", float64(rec.SnapshotDecodeUS)/1e6)
+		p.Gauge("ctdb_cold_start_artifact_restore_seconds", "Recovery time spent restoring registration artifacts.", float64(rec.ArtifactRestoreUS)/1e6)
+		p.Gauge("ctdb_cold_start_wal_replay_seconds", "Recovery time spent replaying the WAL suffix.", float64(rec.WALReplayUS)/1e6)
+		p.Gauge("ctdb_cold_start_replayed_records", "WAL records replayed past the snapshot boundary.", float64(rec.ReplayedRecords))
+		p.Gauge("ctdb_cold_start_compiled_adopted", "Automata whose compiled form was restored from the snapshot (no re-flattening).", float64(rec.CompiledAdopted))
+		p.Gauge("ctdb_cold_start_snapshot_format", "Per-contract snapshot format version loaded at start.", float64(rec.SnapshotFormat))
+	}
 	p.WriteQuery(st.Queries)
 	if sh, ok := s.db.(sharder); ok {
 		p.WriteShardRouter(sh.RouterSnapshot(), sh.ShardSizes(), sh.ShardEpochs())
@@ -639,7 +748,11 @@ func (s *Server) handlePrometheus(w http.ResponseWriter, _ *http.Request) {
 }
 
 func decodeBody(r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	return decodeBodyN(r, v, 1<<20)
+}
+
+func decodeBodyN(r *http.Request, v any, limit int64) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, limit))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("bad request body: %w", err)

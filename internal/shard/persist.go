@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"contractdb/internal/core"
 	"contractdb/internal/vocab"
@@ -68,45 +69,69 @@ func (db *DB) Save(w io.Writer) error {
 // core.DB snapshot, redistributing its contracts — the upgrade path
 // from a pre-sharding data directory.
 func Load(r io.Reader, n int) (*DB, error) {
+	db, _, err := LoadWithStats(r, n)
+	return db, err
+}
+
+// LoadWithStats is Load, additionally reporting the recovery
+// breakdown (wrapper decode vs. per-record artifact restore) summed
+// across shards.
+func LoadWithStats(r io.Reader, n int) (*DB, core.LoadStats, error) {
+	var stats core.LoadStats
 	buf, err := io.ReadAll(r)
 	if err != nil {
-		return nil, fmt.Errorf("shard: load: %w", err)
+		return nil, stats, fmt.Errorf("shard: load: %w", err)
 	}
+	t := time.Now()
 	var snap shardSnapshot
-	if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(&snap); err != nil || snap.ShardFormat == 0 {
+	derr := gob.NewDecoder(bytes.NewReader(buf)).Decode(&snap)
+	stats.Decode = time.Since(t)
+	if derr != nil || snap.ShardFormat == 0 {
 		// Not a sharded snapshot; try the unsharded format.
-		cdb, cerr := core.Load(bytes.NewReader(buf))
+		cdb, cstats, cerr := core.LoadWithStats(bytes.NewReader(buf))
 		if cerr != nil {
-			if err != nil {
-				return nil, fmt.Errorf("shard: load: %w", err)
+			if derr != nil {
+				return nil, stats, fmt.Errorf("shard: load: %w", derr)
 			}
-			return nil, fmt.Errorf("shard: load: %w", cerr)
+			return nil, stats, fmt.Errorf("shard: load: %w", cerr)
 		}
-		return FromCore(cdb, n)
+		stats = cstats
+		t = time.Now()
+		db, err := FromCore(cdb, n)
+		stats.Restore += time.Since(t)
+		if err != nil {
+			return nil, stats, err
+		}
+		return db, stats, nil
 	}
 	if snap.ShardFormat != shardFormatVersion {
-		return nil, fmt.Errorf("shard: load: snapshot has shard format %d, but this build supports only version %d",
+		return nil, stats, fmt.Errorf("shard: load: snapshot has shard format %d, but this build supports only version %d",
 			snap.ShardFormat, shardFormatVersion)
 	}
 	voc, err := vocab.FromNames(snap.Events...)
 	if err != nil {
-		return nil, fmt.Errorf("shard: load: %w", err)
+		return nil, stats, fmt.Errorf("shard: load: %w", err)
 	}
 	db, err := New(voc, snap.Opts, n)
 	if err != nil {
-		return nil, fmt.Errorf("shard: load: %w", err)
+		return nil, stats, fmt.Errorf("shard: load: %w", err)
 	}
+	t = time.Now()
 	for _, rec := range snap.Records {
 		sh := db.shardFor(rec.Name)
 		before := sh.Len()
-		if err := sh.ApplyRegistration(rec.Record); err != nil {
-			return nil, fmt.Errorf("shard: load: contract %q: %w", rec.Name, err)
+		if err := sh.ApplyRegistrationStats(rec.Record, &stats); err != nil {
+			return nil, stats, fmt.Errorf("shard: load: contract %q: %w", rec.Name, err)
 		}
 		if sh.Len() == before {
-			return nil, fmt.Errorf("shard: load: duplicate contract name %q", rec.Name)
+			return nil, stats, fmt.Errorf("shard: load: duplicate contract name %q", rec.Name)
 		}
 	}
-	return db, nil
+	stats.Restore += time.Since(t)
+	if stats.FormatVersion == 0 {
+		stats.FormatVersion = core.SnapshotFormatVersion()
+	}
+	return db, stats, nil
 }
 
 // FromCore redistributes an unsharded database's contracts across n

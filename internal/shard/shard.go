@@ -84,6 +84,11 @@ func New(voc *vocab.Vocabulary, opts core.Options, n int) (*DB, error) {
 	}
 	shardOpts := opts
 	shardOpts.Parallelism = perShardParallelism(opts.Parallelism, n)
+	if opts.IngestWorkers > 0 {
+		// Like Parallelism, the ingest-worker budget is a total: divide
+		// it so the background CPU draw is independent of shard count.
+		shardOpts.IngestWorkers = perShardParallelism(opts.IngestWorkers, n)
+	}
 	for i := range db.shards {
 		db.shards[i] = core.NewDB(voc, shardOpts)
 	}
@@ -180,6 +185,83 @@ func (db *DB) nextAutoName() string {
 			return name
 		}
 	}
+}
+
+// RegisterBatch registers many contracts, dealing each to its owning
+// shard and running the per-shard batches concurrently. Worker
+// semantics match core.DB.RegisterBatch (≤ 0 selects GOMAXPROCS), with
+// the budget divided across shards. Results come back in input order;
+// entries with empty names get globally minted ones first, so the
+// generated-name sequence matches an unsharded batch.
+func (db *DB) RegisterBatch(specs []core.Registration, workers int) []core.BatchResult {
+	named := make([]core.Registration, len(specs))
+	copy(named, specs)
+	for i := range named {
+		if named[i].Name == "" {
+			named[i].Name = db.nextAutoName()
+		}
+	}
+	groups := make([][]int, len(db.shards))
+	for i, r := range named {
+		s := shardIndex(r.Name, len(db.shards))
+		groups[s] = append(groups[s], i)
+	}
+	per := perShardParallelism(workers, len(db.shards))
+	out := make([]core.BatchResult, len(specs))
+	var wg sync.WaitGroup
+	for s, idxs := range groups {
+		if len(idxs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int, idxs []int) {
+			defer wg.Done()
+			batch := make([]core.Registration, len(idxs))
+			for j, i := range idxs {
+				batch[j] = named[i]
+			}
+			res := db.shards[s].RegisterBatch(batch, per)
+			for j, i := range idxs {
+				out[i] = res[j]
+			}
+		}(s, idxs)
+	}
+	wg.Wait()
+	return out
+}
+
+// SetIngestWorkers reconfigures the registration pipeline width (a
+// total budget, divided across shards; ≤ 0 makes registration
+// synchronous everywhere). Previous pipelines drain before the call
+// returns.
+func (db *DB) SetIngestWorkers(n int) {
+	db.mu.Lock()
+	db.opts.IngestWorkers = n
+	db.mu.Unlock()
+	per := 0
+	if n > 0 {
+		per = perShardParallelism(n, len(db.shards))
+	}
+	for _, sh := range db.shards {
+		sh.SetIngestWorkers(per)
+	}
+}
+
+// WaitIdle blocks until every shard's ingest pipeline has promoted all
+// pending registrations.
+func (db *DB) WaitIdle() {
+	for _, sh := range db.shards {
+		sh.WaitIdle()
+	}
+}
+
+// Close drains and stops every shard's ingest pipeline. The database
+// remains usable afterwards (registration becomes synchronous).
+func (db *DB) Close() error {
+	for _, sh := range db.shards {
+		sh.Close()
+	}
+	return nil
 }
 
 // Unregister removes the named contract from its owning shard; only
@@ -321,6 +403,11 @@ func (db *DB) RegistrationStats() core.RegistrationStats {
 		out.IndexNodes += rs.IndexNodes
 		out.IndexBytes += rs.IndexBytes
 		out.ProjectionRows += rs.ProjectionRows
+		out.Translations += rs.Translations
+		out.Degraded += rs.Degraded
+		out.PendingIngest += rs.PendingIngest
+		out.IngestWorkers += rs.IngestWorkers
+		out.Promotions += rs.Promotions
 	}
 	return out
 }

@@ -1,0 +1,96 @@
+package store_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"contractdb/internal/core"
+	"contractdb/internal/store"
+)
+
+// TestDeferredWALReplayPromotes: a pipelined Register appends its WAL
+// record at the degraded tier (projection precompute still pending), so
+// a crash before any checkpoint leaves only degraded records on disk.
+// Recovery must re-pend them through the pipeline and converge on
+// exactly the fully-promoted state — byte for byte.
+func TestDeferredWALReplayPromotes(t *testing.T) {
+	dir := t.TempDir()
+	cfg := store.Config{
+		Events: events(),
+		Core:   core.Options{MaxAutomatonStates: 300, IngestWorkers: 2},
+	}
+	st := openStore(t, dir, cfg)
+	const n = 5
+	for i := 0; i < n; i++ {
+		spec := fmt.Sprintf("G(p%d -> F p%d)", i+1, i+2)
+		if _, err := st.DB().RegisterLTL(fmt.Sprintf("c%d", i), spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.DB().WaitIdle()
+	want := saveBytes(t, st.DB())
+
+	// Crash: clone the directory while the store is still open, so no
+	// final checkpoint seals the WAL.
+	crash := t.TempDir()
+	copyDir(t, dir, crash)
+	st2 := openStore(t, crash, cfg)
+	if st2.Recovery.ReplayedRecords != n {
+		t.Errorf("replayed %d records, want %d", st2.Recovery.ReplayedRecords, n)
+	}
+	st2.DB().WaitIdle()
+	if got := saveBytes(t, st2.DB()); !bytes.Equal(got, want) {
+		t.Error("state recovered from deferred WAL records diverged from the promoted original")
+	}
+
+	// A clean shutdown of the recovered store (final checkpoint drains
+	// the pipeline) reopens with zero replay and the same bytes.
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st3 := openStore(t, crash, cfg)
+	if !st3.Recovery.Clean {
+		t.Errorf("reopen after recovered clean shutdown not clean: %+v", st3.Recovery)
+	}
+	if got := saveBytes(t, st3.DB()); !bytes.Equal(got, want) {
+		t.Error("state diverged across recover + clean shutdown")
+	}
+}
+
+// TestCheckpointDrainsPipeline: a checkpoint taken while promotions
+// are pending must wait for them — the written snapshot is always
+// full-tier, which is what lets replay skip promotion records
+// entirely.
+func TestCheckpointDrainsPipeline(t *testing.T) {
+	dir := t.TempDir()
+	cfg := store.Config{
+		Events: events(),
+		Core:   core.Options{MaxAutomatonStates: 300, IngestWorkers: 1},
+	}
+	st := openStore(t, dir, cfg)
+	for i := 0; i < 4; i++ {
+		spec := fmt.Sprintf("G(p%d -> F p%d)", i+1, i+2)
+		if _, err := st.DB().RegisterLTL(fmt.Sprintf("c%d", i), spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean reopen loads the snapshot; nothing in it may be degraded.
+	crash := t.TempDir()
+	copyDir(t, dir, crash)
+	st2 := openStore(t, crash, cfg)
+	if st2.Recovery.DegradedLoaded != 0 {
+		t.Errorf("checkpoint snapshot held %d degraded contracts, want 0 (checkpoint must drain first)",
+			st2.Recovery.DegradedLoaded)
+	}
+	if st2.Recovery.SnapshotFormat != core.SnapshotFormatVersion() {
+		t.Errorf("snapshot format %d, want %d", st2.Recovery.SnapshotFormat, core.SnapshotFormatVersion())
+	}
+	if st2.Recovery.CompiledAdopted != 4 {
+		t.Errorf("adopted %d compiled forms from the snapshot, want 4", st2.Recovery.CompiledAdopted)
+	}
+}

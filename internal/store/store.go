@@ -64,6 +64,10 @@ type engine interface {
 	ApplyRegistration(data []byte) error
 	ApplyUnregister(name string) error
 	SetOpLog(l core.OpLog)
+	// WaitIdle drains the ingest pipeline so checkpoints snapshot
+	// full-tier state; Close stops the pipeline workers at shutdown.
+	WaitIdle()
+	Close() error
 }
 
 // WAL record types.
@@ -159,6 +163,16 @@ type RecoveryInfo struct {
 	// process left: nothing replayed, nothing truncated, no snapshot
 	// skipped.
 	Clean bool
+
+	// Cold-start breakdown (the ctdb_cold_start_* metric families and
+	// /v1/health surface these): where the recovery time went, and how
+	// much re-derivation the persisted artifacts avoided.
+	SnapshotFormat  int           // per-contract format version loaded (0 = started empty)
+	SnapshotDecode  time.Duration // gob wire decode of the snapshot
+	ArtifactRestore time.Duration // validation + artifact adoption + index/projection rebuild
+	WALReplay       time.Duration // replaying the log suffix
+	CompiledAdopted int           // automata whose CSR form came from disk (no flattening)
+	DegradedLoaded  int           // contracts restored at the degraded tier and re-pended
 }
 
 // Store is an open durable contract database. All methods are safe
@@ -264,13 +278,14 @@ func Open(dir string, cfg Config) (*Store, error) {
 		// never strands a directory. The reverse direction — an
 		// unsharded open finding a sharded snapshot — falls back to the
 		// sharded engine at count 1, which serves identically.
+		var lstats core.LoadStats
 		if sharded {
-			sdb, err = shard.Load(bytes.NewReader(data), cfg.Shards)
+			sdb, lstats, err = shard.LoadWithStats(bytes.NewReader(data), cfg.Shards)
 		} else {
-			cdb, err = core.Load(bytes.NewReader(data))
+			cdb, lstats, err = core.LoadWithStats(bytes.NewReader(data))
 			if err != nil {
-				if s1, serr := shard.Load(bytes.NewReader(data), 1); serr == nil {
-					sdb, err = s1, nil
+				if s1, sstats, serr := shard.LoadWithStats(bytes.NewReader(data), 1); serr == nil {
+					sdb, lstats, err = s1, sstats, nil
 					if cfg.Logf != nil {
 						cfg.Logf("store: %s is a sharded snapshot; serving it through a 1-shard engine", sn.path)
 					}
@@ -289,6 +304,11 @@ func Open(dir string, cfg Config) (*Store, error) {
 		boundary = sn.boundary
 		info.SnapshotSeq = sn.boundary
 		info.SnapshotPath = sn.path
+		info.SnapshotFormat = lstats.FormatVersion
+		info.SnapshotDecode = lstats.Decode
+		info.ArtifactRestore = lstats.Restore
+		info.CompiledAdopted = lstats.CompiledAdopted
+		info.DegradedLoaded = lstats.Degraded
 		break
 	}
 	if lsp != nil {
@@ -363,6 +383,7 @@ func Open(dir string, cfg Config) (*Store, error) {
 	}
 
 	replayed := 0
+	replayStart := time.Now()
 	pctx, psp := trace.StartSpan(rctx, "wal_replay")
 	err = w.ReplayCtx(pctx, boundary, func(r wal.Record) error {
 		switch r.Type {
@@ -389,6 +410,7 @@ func Open(dir string, cfg Config) (*Store, error) {
 		return nil, err
 	}
 	info.ReplayedRecords = replayed
+	info.WALReplay = time.Since(replayStart)
 	info.Duration = time.Since(start)
 	info.Clean = replayed == 0 && info.TruncatedBytes == 0 && len(info.SkippedSnapshots) == 0
 	met.RecoveryReplayed.Add(int64(replayed))
@@ -558,8 +580,11 @@ func (s *Store) checkpoint() (uint64, error) {
 }
 
 // writeSnapshot persists the current state as covering seq < boundary:
-// temp file, fsync, atomic rename, directory fsync.
+// temp file, fsync, atomic rename, directory fsync. The ingest
+// pipeline is drained first so the snapshot holds full-tier state —
+// recovery from it redoes no projection work.
 func (s *Store) writeSnapshot(boundary uint64) error {
+	s.db.WaitIdle()
 	final := filepath.Join(s.dir, snapshotName(boundary))
 	tmp := final + ".tmp"
 	f, err := os.Create(tmp)
@@ -637,6 +662,11 @@ func (s *Store) Close() error {
 	s.ckptMu.Lock()
 	_, cerr := s.checkpoint()
 	s.ckptMu.Unlock()
+
+	// The final checkpoint drained the pipeline; now stop its workers.
+	// The database stays queryable (and registrable, synchronously) in
+	// memory.
+	s.db.Close()
 
 	werr := s.log.Close()
 	if cerr != nil {
