@@ -139,6 +139,14 @@ func BenchmarkFig5Sharded(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamIngest prices the live-monitoring hot path: one
+// benign batch pushed per op into a broker with 1k open streams across
+// 4 ingest shards, clocked through drain. The full {1k,10k,100k} ×
+// {1,4} series lives in cmd/benchjson (stream_ingest).
+func BenchmarkStreamIngest(b *testing.B) {
+	b.Run("streams=1000/shards=4", benchkit.BenchStreamIngest(1000, 4))
+}
+
 // BenchmarkFindAny measures the early-exit mode against collecting the
 // full match set on the same workload.
 func BenchmarkFindAny(b *testing.B) {

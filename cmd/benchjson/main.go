@@ -50,6 +50,9 @@ type report struct {
 	// without the ingest pipeline.
 	ColdStart    []benchkit.ColdStartPoint    `json:"cold_start,omitempty"`
 	RegisterRate []benchkit.RegisterRatePoint `json:"register_rate,omitempty"`
+	// StreamIngest is the live-monitoring throughput series:
+	// events/sec/core at N open streams across M ingest shards.
+	StreamIngest []benchkit.StreamIngestPoint `json:"stream_ingest,omitempty"`
 }
 
 func main() {
@@ -130,6 +133,21 @@ func main() {
 			rep.RegisterRate = append(rep.RegisterRate, p)
 			fmt.Fprintf(os.Stderr, "RegisterRate/workers=%-3d accept %9.1f ms (%8.1f reg/s)  drain %9.1f ms\n",
 				p.IngestWorkers, p.AcceptMS, p.AcceptPerSec, p.DrainMS)
+		}
+		// Stream-ingest series: fewer events per stream at the larger
+		// stream counts, so every point pushes a comparable total.
+		for _, streams := range []int{1000, 10000, 100000} {
+			for _, shards := range []int{1, 4} {
+				eventsPerStream := 800000 / streams
+				p, err := benchkit.StreamIngest(streams, shards, eventsPerStream)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+					os.Exit(1)
+				}
+				rep.StreamIngest = append(rep.StreamIngest, p)
+				fmt.Fprintf(os.Stderr, "StreamIngest/streams=%-6d shards=%d  %12.0f events/s  %10.0f events/s/core\n",
+					p.Streams, p.Shards, p.EventsPerSec, p.EventsPerSecCore)
+			}
 		}
 	}
 

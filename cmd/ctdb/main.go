@@ -8,6 +8,7 @@
 //	ctdb query  -db FILE -spec LTL [-mode M]  run a query
 //	ctdb show   -db FILE [-name N]            list contracts / dump one automaton
 //	ctdb stats  -db FILE                      database and index statistics
+//	ctdb monitor -addr URL -stream N          tail a live stream's verdicts
 //
 // Example session:
 //
@@ -59,6 +60,8 @@ func main() {
 		err = cmdImport(args)
 	case "explain":
 		err = cmdExplain(args)
+	case "monitor":
+		err = cmdMonitor(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -89,7 +92,9 @@ commands:
   stats  -db FILE                       database and index statistics
   export -db FILE [-out FILE]           dump contracts in the corpus text format
   import -db FILE -in FILE [-workers N] bulk-register a corpus file in parallel
-  explain -db FILE -name NAME -spec LTL show a witness run for a permitted query`)
+  explain -db FILE -name NAME -spec LTL show a witness run for a permitted query
+  monitor -addr URL -stream NAME [-contracts A,B] [-after N] [-follow]
+                                        tail a live stream's verdicts from ctdbd`)
 }
 
 func loadDB(path string) (*core.DB, error) {

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"contractdb/internal/server"
+)
+
+// cmdMonitor tails a stream's verdicts from a running ctdbd: print
+// what has accumulated, then (with -follow) long-poll for transitions
+// as events arrive.
+func cmdMonitor(args []string) error {
+	fs := flag.NewFlagSet("monitor", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8080", "ctdbd base URL")
+	name := fs.String("stream", "", "stream name to tail")
+	contracts := fs.String("contracts", "", "comma-separated contract names; creates the stream first")
+	after := fs.Int("after", 0, "resume after this verdict sequence number")
+	follow := fs.Bool("follow", false, "keep tailing after the current verdicts (Ctrl-C stops)")
+	wait := fs.Duration("wait", 30*time.Second, "long-poll duration per round under -follow")
+	fs.Parse(args)
+	if *name == "" {
+		return fmt.Errorf("monitor: -stream is required")
+	}
+	client := server.NewClient(*addr, nil)
+
+	if *contracts != "" {
+		info, err := client.CreateStream(*name, strings.Split(*contracts, ","))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "created stream %s on shard %d monitoring %s\n",
+			info.Name, info.Shard, strings.Join(info.Contracts, ", "))
+	}
+
+	// Ctrl-C ends a -follow tail between polls; the in-flight poll just
+	// finishes its round.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	cursor := *after
+	for {
+		pollWait := time.Duration(0)
+		if *follow {
+			pollWait = *wait
+		}
+		resp, err := client.StreamVerdicts(*name, cursor, pollWait)
+		if err != nil {
+			return err
+		}
+		for _, v := range resp.Verdicts {
+			if v.From == "" {
+				fmt.Printf("%s\tseq=%d\t%s: %s\n", *name, v.Seq, v.Contract, v.To)
+				continue
+			}
+			fmt.Printf("%s\tseq=%d\t%s: %s -> %s @ event %d\n",
+				*name, v.Seq, v.Contract, v.From, v.To, v.EventIndex)
+		}
+		cursor = resp.Next
+		if !*follow {
+			return nil
+		}
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+	}
+}

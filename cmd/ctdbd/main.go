@@ -15,6 +15,13 @@
 // snapshots are shard-count-agnostic, so the same -data-dir can reopen
 // under a different -shards value (including back to unsharded).
 //
+// The daemon also serves live compliance monitoring under /v1/streams
+// (-stream-shards ingest workers, 0 disables): clients open named
+// streams attached to registered contracts, push event snapshots, and
+// long-poll or SSE-subscribe for verdict transitions. With -data-dir
+// the stream journal lives in DIR/streams and verdict state survives
+// crashes.
+//
 // The legacy single-file mode re-saves a whole snapshot after every
 // registration (simple, but O(database) per write and unregistered
 // ops between save and crash are lost):
@@ -46,6 +53,7 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux, served only under -pprof-addr
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -54,6 +62,7 @@ import (
 	"contractdb/internal/metrics"
 	"contractdb/internal/server"
 	"contractdb/internal/store"
+	"contractdb/internal/stream"
 	"contractdb/internal/trace"
 	"contractdb/internal/vocab"
 	"contractdb/internal/wal"
@@ -78,6 +87,8 @@ func main() {
 	fsyncInterval := flag.Duration("fsync-interval", wal.DefaultSyncInterval, "flush period under -fsync interval")
 	checkpointEvery := flag.Int("checkpoint-every", store.DefaultCheckpointRecords, "auto-checkpoint after this many logged operations (negative disables)")
 	shards := flag.Int("shards", 0, "partition the database across this many scatter-gather shards (0 or 1 = unsharded; requires -data-dir)")
+	streamShards := flag.Int("stream-shards", 1, "ingest workers for the live stream-monitoring subsystem (0 disables /v1/streams)")
+	streamQueue := flag.Int("stream-queue", 0, "pending event batches per stream-ingest shard before pushes block (0 = default)")
 	parallelism := flag.Int("parallelism", 0, "query worker-pool width (0 = GOMAXPROCS, 1 = sequential)")
 	ingestWorkers := flag.Int("ingest-workers", 0, "pipelined registration: POST /v1/contracts returns after a degraded (prefilter-only) insert and this many background workers complete the projection precompute (0 = as persisted in the snapshot, negative = force synchronous)")
 	queryTimeout := flag.Duration("query-timeout", 0, "server-side deadline per query evaluation (0 = none)")
@@ -171,6 +182,42 @@ func main() {
 		srv.Recovery = recoveryState(st.Recovery)
 	}
 
+	var broker *stream.Broker
+	if *streamShards > 0 {
+		cfg := stream.Config{
+			Shards:     *streamShards,
+			QueueDepth: *streamQueue,
+			Tracer:     tracer,
+			Logf:       log.Printf,
+		}
+		if *dataDir != "" {
+			// Streams journal beside the contract store, with the same
+			// fsync policy; in legacy -db mode they stay in memory.
+			policy, err := wal.ParseSyncPolicy(*fsync)
+			if err != nil {
+				log.Fatalf("ctdbd: %v", err)
+			}
+			cfg.Dir = filepath.Join(*dataDir, "streams")
+			cfg.Sync = policy
+			cfg.SyncInterval = *fsyncInterval
+			cfg.CheckpointRecords = *checkpointEvery
+		}
+		broker, err = stream.New(db, cfg)
+		if err != nil {
+			log.Fatalf("ctdbd: streams: %v", err)
+		}
+		srv.Streams = broker
+		if rec := broker.Recovery; cfg.Dir != "" {
+			if rec.Clean {
+				log.Printf("ctdbd: streams: recovered %d streams clean (%d shards) in %s",
+					rec.Streams, *streamShards, rec.Duration)
+			} else {
+				log.Printf("ctdbd: streams: recovered %d streams (%d shards; snapshot %s + %d replayed records) in %s",
+					rec.Streams, *streamShards, orFresh(rec.SnapshotPath), rec.ReplayedRecords, rec.Duration)
+			}
+		}
+	}
+
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,
@@ -207,6 +254,11 @@ func main() {
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("ctdbd: http shutdown: %v", err)
+	}
+	if broker != nil {
+		if err := broker.Close(); err != nil {
+			log.Printf("ctdbd: closing streams: %v", err)
+		}
 	}
 	if st != nil {
 		if err := st.Close(); err != nil {

@@ -1,0 +1,132 @@
+package main_test
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestDaemonStreamCrashRecovery drives the streaming subsystem's
+// durability story against a real daemon: open a stream over HTTP,
+// push events, SIGKILL the process mid-life, restart, and check the
+// verdict state resumes from the WAL — the already-delivered verdicts
+// re-fetch byte-identical (none lost, none re-delivered with new
+// sequence numbers) and the recovered frontier produces the next
+// transition at the right event index.
+func TestDaemonStreamCrashRecovery(t *testing.T) {
+	bin := buildDaemon(t)
+	dataDir := filepath.Join(t.TempDir(), "data")
+
+	d1 := startDaemon(t, bin, dataDir, "-stream-shards", "2")
+	c1 := d1.client()
+	for _, reg := range [][2]string{
+		{"NoRefund", "G !refund"},
+		{"PayBeforeUse", "G(use -> F pay)"},
+	} {
+		if _, err := c1.Register(reg[0], reg[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	info, err := c1.CreateStream("orders", []string{"NoRefund", "PayBeforeUse"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Verdicts != 2 {
+		t.Fatalf("created stream = %+v", info)
+	}
+	// Three events, no transitions: both contracts stay compliant, and
+	// the last use leaves PayBeforeUse with a live obligation the
+	// recovered frontier must remember.
+	if _, err := c1.PushEvents("orders", [][]string{{"use"}, {"pay"}, {"use"}}); err != nil {
+		t.Fatal(err)
+	}
+	// Long-poll is bounded here only by the daemon applying the batch.
+	pre, err := c1.StreamVerdicts("orders", 0, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pre.Verdicts) != 2 {
+		t.Fatalf("pre-crash verdicts = %+v", pre)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		info, err = c1.StreamInfo("orders")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Events == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("events never applied: %+v", info)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Die with no shutdown path at all.
+	if err := d1.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	d1.cmd.Wait()
+
+	d2 := startDaemon(t, bin, dataDir, "-stream-shards", "2")
+	if !strings.Contains(d2.logs.String(), "streams: recovered 1 streams") {
+		t.Fatalf("no stream recovery log line:\n%s", d2.logs.String())
+	}
+	c2 := d2.client()
+	info, err = c2.StreamInfo("orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Events != 3 || info.Statuses[0] != "compliant" || info.Statuses[1] != "compliant" {
+		t.Fatalf("recovered stream = %+v", info)
+	}
+	post, err := c2.StreamVerdicts("orders", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(post.Verdicts, pre.Verdicts) {
+		t.Fatalf("verdicts changed across crash:\n pre: %+v\npost: %+v", pre.Verdicts, post.Verdicts)
+	}
+
+	// The recovered frontier keeps stepping: a refund violates NoRefund
+	// at event index 4 with the next sequence number — nothing was
+	// re-delivered, nothing skipped.
+	if _, err := c2.PushEvents("orders", [][]string{{"refund"}}); err != nil {
+		t.Fatal(err)
+	}
+	vr, err := c2.StreamVerdicts("orders", 2, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vr.Verdicts) != 1 {
+		t.Fatalf("post-recovery verdicts = %+v", vr)
+	}
+	v := vr.Verdicts[0]
+	if v.Seq != 3 || v.Contract != "NoRefund" || v.From != "compliant" || v.To != "violated" || v.EventIndex != 4 {
+		t.Fatalf("post-recovery transition = %+v", v)
+	}
+
+	// Graceful shutdown checkpoints the streams; the next start
+	// recovers them clean (zero replay).
+	if err := d2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.cmd.Wait(); err != nil {
+		t.Fatalf("daemon exited dirty: %v\n%s", err, d2.logs.String())
+	}
+	d3 := startDaemon(t, bin, dataDir, "-stream-shards", "2")
+	if !strings.Contains(d3.logs.String(), "streams: recovered 1 streams clean") {
+		t.Fatalf("streams did not recover clean after SIGTERM:\n%s", d3.logs.String())
+	}
+	final, err := d3.client().StreamVerdicts("orders", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(final.Verdicts) != 3 || !reflect.DeepEqual(final.Verdicts[:2], pre.Verdicts) {
+		t.Fatalf("verdicts after clean restart = %+v", final.Verdicts)
+	}
+}

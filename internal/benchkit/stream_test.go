@@ -1,0 +1,22 @@
+package benchkit
+
+import "testing"
+
+// TestStreamIngestPoint runs the series function at a toy size so CI
+// catches wiring rot (contract set, event mix, broker config) without
+// paying for the real {1k,10k,100k}-stream sweep in cmd/benchjson.
+func TestStreamIngestPoint(t *testing.T) {
+	p, err := StreamIngest(50, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Streams != 50 || p.Shards != 2 {
+		t.Fatalf("point = %+v", p)
+	}
+	if p.Events != 2*8*50 { // 16 events/stream = 2 rounds of the 8-snapshot batch
+		t.Fatalf("events = %d", p.Events)
+	}
+	if p.EventsPerSec <= 0 || p.EventsPerSecCore <= 0 {
+		t.Fatalf("throughput not measured: %+v", p)
+	}
+}

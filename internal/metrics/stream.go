@@ -1,0 +1,78 @@
+package metrics
+
+// Stream collects the streaming-monitor subsystem's counters and
+// latency histograms: event ingest volume, verdict transitions, stream
+// lifecycle churn, and per-batch apply latency. One instance lives on
+// each stream.Broker; the broker's WAL journal keeps its own
+// Durability so stream persistence is reported separately from the
+// contract store's.
+type Stream struct {
+	// Ingest path.
+	Events  Counter // snapshots applied to stream frontiers
+	Batches Counter // event batches applied (one Append = one batch)
+	Apply   Histogram
+
+	// Verdict side. Transitions excludes the initial verdict each
+	// attachment emits at create time.
+	Verdicts    Counter // verdicts emitted, including initial statuses
+	Transitions Counter // status changes caused by events
+
+	// Lifecycle.
+	Creates Counter // streams opened
+	Deletes Counter // streams closed
+	Dropped Counter // journaled records skipped at apply (stream gone)
+}
+
+// StreamSnapshot is the JSON view of Stream.
+type StreamSnapshot struct {
+	Events  int64             `json:"events"`
+	Batches int64             `json:"batches"`
+	Apply   HistogramSnapshot `json:"apply"`
+
+	Verdicts    int64 `json:"verdicts"`
+	Transitions int64 `json:"transitions"`
+
+	Creates int64 `json:"creates"`
+	Deletes int64 `json:"deletes"`
+	Dropped int64 `json:"dropped"`
+}
+
+// Snapshot captures every stream counter and histogram.
+func (s *Stream) Snapshot() StreamSnapshot {
+	return StreamSnapshot{
+		Events:      s.Events.Value(),
+		Batches:     s.Batches.Value(),
+		Apply:       s.Apply.Snapshot(),
+		Verdicts:    s.Verdicts.Value(),
+		Transitions: s.Transitions.Value(),
+		Creates:     s.Creates.Value(),
+		Deletes:     s.Deletes.Value(),
+		Dropped:     s.Dropped.Value(),
+	}
+}
+
+// StreamGauges is the broker's point-in-time shape, sampled at scrape
+// time (unlike the monotone counters above).
+type StreamGauges struct {
+	Active      int   `json:"active"`       // open streams
+	Attachments int   `json:"attachments"`  // (stream, contract) monitor slots
+	QueueDepths []int `json:"queue_depths"` // pending batches per ingest shard
+}
+
+// WriteStream emits the ctdb_stream_* Prometheus families.
+func (p *PromWriter) WriteStream(s StreamSnapshot, g StreamGauges) {
+	p.Gauge("ctdb_stream_active", "Open monitored streams.", float64(g.Active))
+	p.Gauge("ctdb_stream_attachments", "Attached (stream, contract) monitor slots.", float64(g.Attachments))
+	p.Counter("ctdb_stream_events_total", "Event snapshots applied to stream frontiers.", s.Events)
+	p.Counter("ctdb_stream_event_batches_total", "Event batches ingested.", s.Batches)
+	p.Counter("ctdb_stream_verdicts_total", "Verdicts emitted (including initial statuses).", s.Verdicts)
+	p.Counter("ctdb_stream_verdict_transitions_total", "Verdict transitions caused by events.", s.Transitions)
+	p.Counter("ctdb_stream_creates_total", "Streams opened.", s.Creates)
+	p.Counter("ctdb_stream_deletes_total", "Streams deleted.", s.Deletes)
+	p.Counter("ctdb_stream_dropped_records_total", "Journaled records skipped at apply.", s.Dropped)
+	p.header("ctdb_stream_ingest_queue_depth", "Pending event batches per ingest shard.", "gauge")
+	for i, d := range g.QueueDepths {
+		p.printf("ctdb_stream_ingest_queue_depth{shard=\"%d\"} %d\n", i, d)
+	}
+	p.Histogram("ctdb_stream_apply_seconds", "Per-batch frontier apply latency.", s.Apply)
+}

@@ -1,0 +1,48 @@
+//go:build !race
+
+package monitor_test
+
+import (
+	"testing"
+
+	"contractdb/internal/ltl2ba"
+	"contractdb/internal/monitor"
+	"contractdb/internal/paperex"
+	"contractdb/internal/vocab"
+)
+
+// TestSteadyStateZeroAllocs pins the double-buffered frontier: once a
+// monitor exists, stepping it allocates nothing — the frontier and its
+// scratch half are reused and swapped, never reallocated. Mirrors the
+// permission arena's steady-state guarantee. Excluded under -race,
+// whose instrumented runtime allocates on its own.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	voc := paperex.NewVocabulary()
+	auto, err := ltl2ba.Translate(voc, paperex.TicketC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := monitor.New(auto)
+	snaps := make([]vocab.Set, 0, 4)
+	for _, evs := range [][]string{{"purchase"}, {}, {"dateChange"}, {"use"}} {
+		s, err := voc.SetOf(evs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps = append(snaps, s)
+	}
+	run := func() {
+		for _, s := range snaps {
+			m.Step(s)
+		}
+	}
+	m.Reset()
+	run() // warm: allocate the two frontier buffers
+	if avg := testing.AllocsPerRun(50, run); avg != 0 {
+		t.Fatalf("steady-state Step allocates %.1f times per 4-event run, want 0", avg)
+	}
+	// Reset must also be allocation-free once the buffers exist.
+	if avg := testing.AllocsPerRun(50, func() { m.Reset(); run() }); avg != 0 {
+		t.Fatalf("Reset+Step allocates %.1f times per run, want 0", avg)
+	}
+}

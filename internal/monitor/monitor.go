@@ -58,7 +58,10 @@ type Monitor struct {
 	// outside this set are dead weight for the frontier.
 	live []bool
 	// frontier is the set of states reachable on the observed prefix.
+	// scratch is the other half of a double buffer: Step fills it and
+	// swaps, so a monitor in steady state allocates nothing per event.
 	frontier []bool
+	scratch  []bool
 	steps    int
 	violated bool
 }
@@ -74,9 +77,15 @@ func New(auto *buchi.BA) *Monitor {
 	return m
 }
 
-// Reset returns the monitor to the initial (empty prefix) state.
+// Reset returns the monitor to the initial (empty prefix) state. The
+// frontier buffers are retained across resets.
 func (m *Monitor) Reset() {
-	m.frontier = make([]bool, m.auto.NumStates())
+	if m.frontier == nil {
+		m.frontier = make([]bool, m.auto.NumStates())
+		m.scratch = make([]bool, m.auto.NumStates())
+	} else {
+		clear(m.frontier)
+	}
 	m.frontier[m.auto.Init] = true
 	m.steps = 0
 	m.violated = false
@@ -95,7 +104,8 @@ func (m *Monitor) Step(snapshot vocab.Set) Status {
 		return Violated
 	}
 	projected := snapshot.Intersect(m.auto.Events)
-	next := make([]bool, m.auto.NumStates())
+	next := m.scratch
+	clear(next)
 	any := false
 	for s, in := range m.frontier {
 		if !in {
@@ -108,7 +118,7 @@ func (m *Monitor) Step(snapshot vocab.Set) Status {
 			}
 		}
 	}
-	m.frontier = next
+	m.frontier, m.scratch = next, m.frontier
 	if !any {
 		m.violated = true
 		return Violated

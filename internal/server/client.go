@@ -6,7 +6,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"time"
 
+	"contractdb/internal/stream"
 	"contractdb/internal/trace"
 )
 
@@ -168,5 +171,52 @@ func (c *Client) PrometheusMetrics() (string, error) {
 func (c *Client) Stats() (StatsResponse, error) {
 	var out StatsResponse
 	err := c.do(http.MethodGet, "/v1/stats", nil, &out)
+	return out, err
+}
+
+// CreateStream opens a monitored stream attached to the named
+// contracts.
+func (c *Client) CreateStream(name string, contracts []string) (stream.Info, error) {
+	var out stream.Info
+	err := c.do(http.MethodPost, "/v1/streams", StreamCreateRequest{Name: name, Contracts: contracts}, &out)
+	return out, err
+}
+
+// DeleteStream closes a stream.
+func (c *Client) DeleteStream(name string) error {
+	return c.do(http.MethodDelete, "/v1/streams/"+url.PathEscape(name), nil, nil)
+}
+
+// Streams lists open streams.
+func (c *Client) Streams() ([]stream.Info, error) {
+	var out []stream.Info
+	err := c.do(http.MethodGet, "/v1/streams", nil, &out)
+	return out, err
+}
+
+// StreamInfo fetches one stream's contracts and statuses.
+func (c *Client) StreamInfo(name string) (stream.Info, error) {
+	var out stream.Info
+	err := c.do(http.MethodGet, "/v1/streams/"+url.PathEscape(name), nil, &out)
+	return out, err
+}
+
+// PushEvents pushes a batch of event snapshots to a stream; each inner
+// slice is one instant's event set.
+func (c *Client) PushEvents(name string, events [][]string) (StreamEventsResponse, error) {
+	var out StreamEventsResponse
+	err := c.do(http.MethodPost, "/v1/streams/"+url.PathEscape(name)+"/events", StreamEventsRequest{Events: events}, &out)
+	return out, err
+}
+
+// StreamVerdicts fetches verdicts with Seq > after, long-polling up to
+// wait when none are available yet.
+func (c *Client) StreamVerdicts(name string, after int, wait time.Duration) (StreamVerdictsResponse, error) {
+	path := fmt.Sprintf("/v1/streams/%s/verdicts?after=%d", url.PathEscape(name), after)
+	if wait > 0 {
+		path += "&wait=" + wait.String()
+	}
+	var out StreamVerdictsResponse
+	err := c.do(http.MethodGet, path, nil, &out)
 	return out, err
 }

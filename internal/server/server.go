@@ -18,6 +18,15 @@
 //	GET  /v1/traces/slow         queries that crossed the slow-query threshold
 //	GET  /metrics                Prometheus text exposition of every metric
 //
+// With streaming enabled (see Streams and internal/stream):
+//
+//	POST   /v1/streams                  open a monitored stream
+//	GET    /v1/streams                  list open streams
+//	GET    /v1/streams/{name}           one stream's statuses
+//	DELETE /v1/streams/{name}           close a stream
+//	POST   /v1/streams/{name}/events    push an event batch
+//	GET    /v1/streams/{name}/verdicts  long-poll or SSE-tail verdicts
+//
 // All request and response bodies are JSON (except /metrics, which
 // speaks the Prometheus text format). Registration is serialized by
 // the engine; queries run concurrently.
@@ -50,6 +59,7 @@ import (
 	"contractdb/internal/core"
 	"contractdb/internal/ltl"
 	"contractdb/internal/metrics"
+	"contractdb/internal/stream"
 	"contractdb/internal/trace"
 	"contractdb/internal/vocab"
 )
@@ -112,6 +122,9 @@ type Server struct {
 	// Recovery, when non-nil, is reported by GET /v1/health; the daemon
 	// fills it from the store's RecoveryInfo.
 	Recovery *RecoveryState
+	// Streams, when non-nil, backs the /v1/streams endpoints (live
+	// compliance monitoring). Left nil they answer 501.
+	Streams *stream.Broker
 
 	start time.Time
 }
@@ -137,6 +150,7 @@ func New(db DB) *Server {
 	s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /v1/traces/slow", s.handleSlowTraces)
 	s.mux.HandleFunc("GET /metrics", s.handlePrometheus)
+	s.registerStreamRoutes()
 	return s
 }
 
@@ -181,6 +195,14 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	n, err := w.ResponseWriter.Write(p)
 	w.bytes += n
 	return n, err
+}
+
+// Flush forwards to the wrapped writer so SSE responses stream through
+// the request-logging middleware.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 func (s *Server) uptime() float64 {
@@ -641,6 +663,16 @@ type MetricsResponse struct {
 	// Durability is present only when the server fronts a durable
 	// store (WAL + checkpoints).
 	Durability *metrics.DurabilitySnapshot `json:"durability,omitempty"`
+	// Streams is present only when the streaming-monitor subsystem is
+	// enabled.
+	Streams *StreamMetrics `json:"streams,omitempty"`
+}
+
+// StreamMetrics combines the stream broker's monotone counters with
+// its point-in-time gauges.
+type StreamMetrics struct {
+	metrics.StreamSnapshot
+	Gauges metrics.StreamGauges `json:"gauges"`
 }
 
 // ShardingInfo reports the sharded engine's shape and router counters:
@@ -687,9 +719,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			Router: sh.RouterSnapshot(),
 		}
 	}
+	var streams *StreamMetrics
+	if s.Streams != nil {
+		streams = &StreamMetrics{
+			StreamSnapshot: s.Streams.Metrics().Snapshot(),
+			Gauges:         s.Streams.Gauges(),
+		}
+	}
 	writeJSON(w, http.StatusOK, MetricsResponse{
 		Sharding:         sharding,
 		Durability:       durability,
+		Streams:          streams,
 		Contracts:        st.Registration.Contracts,
 		VocabularyEvents: s.db.Vocabulary().Len(),
 		ProjectionRows:   st.Registration.ProjectionRows,
@@ -743,6 +783,9 @@ func (s *Server) handlePrometheus(w http.ResponseWriter, _ *http.Request) {
 	}
 	if s.Durability != nil {
 		p.WriteDurability(s.Durability.Snapshot())
+	}
+	if s.Streams != nil {
+		p.WriteStream(s.Streams.Metrics().Snapshot(), s.Streams.Gauges())
 	}
 	p.WriteRuntime()
 }

@@ -1,0 +1,529 @@
+package stream
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"contractdb/internal/metrics"
+	"contractdb/internal/monitor"
+	"contractdb/internal/vocab"
+	"contractdb/internal/wal"
+)
+
+// Journal layout and offset protocol.
+//
+// A durable broker keeps a WAL (Dir/wal) of three record types —
+// stream creates, deletes, and event batches — appended before the
+// operation is acknowledged, exactly like the contract store's
+// append-before-apply discipline. Checkpoints quiesce intake (every
+// shard's ingestMu held, queues drained, so every acknowledged record
+// is applied), seal the WAL at a boundary sequence, and write
+// Dir/streams-<boundary>.snap: per stream, the contract list, the
+// current frontier bitset words, the applied-event count, and the full
+// verdict history with its sequence numbers. Recovery loads the newest
+// decodable snapshot and replays only WAL records at or past its
+// boundary — resuming from the checkpointed frontier, not from event
+// zero. Each event record carries the index of its first snapshot in
+// the stream's event sequence, so a record that overlaps the
+// checkpoint (appended while the snapshot was being written) replays
+// idempotently: already-consumed snapshots are skipped by index.
+const (
+	recCreate byte = 1
+	recDelete byte = 2
+	recEvents byte = 3
+
+	snapshotFormat = 1
+	snapshotPrefix = "streams-"
+	snapshotSuffix = ".snap"
+)
+
+type journal struct {
+	dir  string
+	log  *wal.Log
+	keep int
+	met  *metrics.Durability
+	// mu serializes checkpoint writers (explicit, auto, final).
+	mu chan struct{}
+}
+
+func (j *journal) lock()   { j.mu <- struct{}{} }
+func (j *journal) unlock() { <-j.mu }
+
+// snapshotFile is the gob-encoded checkpoint payload.
+type snapshotFile struct {
+	Format   int
+	Boundary uint64
+	Streams  []streamSnap
+}
+
+// streamSnap is one stream's checkpointed state. States holds each
+// attachment's automaton size at checkpoint time: if the contract's
+// automaton has a different size at recovery (re-registered under the
+// same name), the persisted frontier indexes the wrong state space and
+// the attachment is reset to the initial frontier instead.
+type streamSnap struct {
+	Name      string
+	Contracts []string
+	States    []int
+	Frontiers [][]uint64
+	Statuses  []int
+	Events    uint64
+	Verdicts  []Verdict
+}
+
+// openJournal opens (or creates) the journal under cfg.Dir, recovers
+// checkpointed streams and replays the WAL suffix. Called by New
+// before the shard workers start, so apply helpers run unraced.
+func (b *Broker) openJournal(cfg Config) error {
+	start := time.Now()
+	dur := cfg.Durability
+	if dur == nil {
+		dur = &metrics.Durability{}
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return fmt.Errorf("stream: journal: %w", err)
+	}
+	log, err := wal.Open(filepath.Join(cfg.Dir, "wal"), wal.Options{
+		SegmentBytes: cfg.SegmentBytes,
+		Sync:         cfg.Sync,
+		SyncInterval: cfg.SyncInterval,
+		Metrics:      dur,
+	})
+	if err != nil {
+		return fmt.Errorf("stream: journal: %w", err)
+	}
+	keep := cfg.KeepSnapshots
+	if keep <= 0 {
+		keep = 2
+	}
+	b.journal = &journal{dir: cfg.Dir, log: log, keep: keep, met: dur, mu: make(chan struct{}, 1)}
+
+	ctx, tr := b.tracer.Start(context.Background(), "stream_recovery")
+	defer b.tracer.Finish(tr)
+	info := RecoveryInfo{}
+
+	snap, path, skipped := b.journal.loadSnapshot(b.logf)
+	info.SnapshotPath = path
+	info.SkippedSnapshots = skipped
+	boundary := uint64(0)
+	if snap != nil {
+		boundary = snap.Boundary
+		info.SnapshotSeq = boundary
+		for _, ss := range snap.Streams {
+			b.restoreStream(ss)
+		}
+	}
+	replayErr := log.ReplayCtx(ctx, boundary, func(rec wal.Record) error {
+		info.ReplayedRecords++
+		return b.applyRecord(rec)
+	})
+	if replayErr != nil {
+		log.Close()
+		return replayErr
+	}
+	dur.RecoveryReplayed.Add(int64(info.ReplayedRecords))
+	info.Streams = len(b.List())
+	info.Duration = time.Since(start)
+	info.Clean = info.ReplayedRecords == 0 && len(skipped) == 0
+	dur.Recovery.Observe(info.Duration)
+	b.Recovery = info
+	return nil
+}
+
+// restoreStream rebuilds one checkpointed stream: shared automaton
+// groups re-resolved by contract name, frontier words copied into
+// fresh arena slots. A contract that no longer resolves drops the
+// stream (logged); a changed automaton resets that attachment.
+func (b *Broker) restoreStream(ss streamSnap) {
+	sh := b.shardFor(ss.Name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	groups := make([]*group, len(ss.Contracts))
+	for i, cname := range ss.Contracts {
+		g, err := sh.groupFor(cname)
+		if err != nil {
+			b.met.Dropped.Inc()
+			b.logf("stream: recovery: stream %q: %v; stream dropped", ss.Name, err)
+			return
+		}
+		groups[i] = g
+	}
+	st := &stream{
+		name:      ss.Name,
+		contracts: append([]string(nil), ss.Contracts...),
+		atts:      make([]attachment, len(ss.Contracts)),
+		notify:    make(chan struct{}),
+		verdicts:  ss.Verdicts,
+	}
+	for i, g := range groups {
+		g.refs++
+		a := attachment{g: g, slot: g.alloc()}
+		if i < len(ss.States) && ss.States[i] == g.auto.N && i < len(ss.Frontiers) {
+			a.setFrontier(ss.Frontiers[i])
+			a.status = monitor.Status(ss.Statuses[i])
+		} else {
+			a.status = g.initialStatus()
+			b.logf("stream: recovery: stream %q contract %q automaton changed; frontier reset", ss.Name, g.contract)
+		}
+		st.atts[i] = a
+	}
+	st.events = ss.Events
+	st.accepted.Store(ss.Events)
+	sh.streams[ss.Name] = st
+}
+
+// applyRecord replays one journal record. Decode failures and unknown
+// types abort recovery (the journal was written by a newer build, or
+// is corrupt past what the WAL's CRC caught); apply-level failures —
+// a create that was refused when first acknowledged, events for a
+// stream deleted later in the log — are skipped, matching the original
+// run's outcome.
+func (b *Broker) applyRecord(rec wal.Record) error {
+	switch rec.Type {
+	case recCreate:
+		name, contracts, err := decodeCreate(rec.Data)
+		if err != nil {
+			return fmt.Errorf("stream: journal record %d: %w", rec.Seq, err)
+		}
+		if err := b.shardFor(name).applyCreate(name, contracts); err != nil {
+			b.met.Dropped.Inc()
+			b.logf("stream: replay: %v", err)
+		}
+	case recDelete:
+		name, _, err := readString(rec.Data)
+		if err != nil {
+			return fmt.Errorf("stream: journal record %d: %w", rec.Seq, err)
+		}
+		if err := b.shardFor(name).applyDelete(name); err != nil {
+			b.met.Dropped.Inc()
+			b.logf("stream: replay: %v", err)
+		}
+	case recEvents:
+		name, first, snaps, err := decodeEvents(rec.Data)
+		if err != nil {
+			return fmt.Errorf("stream: journal record %d: %w", rec.Seq, err)
+		}
+		if err := b.shardFor(name).applyEvents(name, first, snaps); err != nil {
+			b.met.Dropped.Inc()
+			b.logf("stream: replay: %v", err)
+		}
+	default:
+		return fmt.Errorf("stream: journal record %d has unknown type %d (written by a newer build?)", rec.Seq, rec.Type)
+	}
+	return nil
+}
+
+// Checkpoint quiesces intake, seals the WAL, persists every stream's
+// frontier and verdict history, and prunes sealed segments below the
+// boundary. It returns the boundary sequence: every journal record
+// below it is covered by the fsynced snapshot.
+func (b *Broker) Checkpoint() (uint64, error) {
+	j := b.journal
+	if j == nil {
+		return 0, errors.New("stream: no journal configured")
+	}
+	j.lock()
+	defer j.unlock()
+	for _, sh := range b.shards {
+		sh.ingestMu.Lock()
+	}
+	unlock := func() {
+		for _, sh := range b.shards {
+			sh.ingestMu.Unlock()
+		}
+	}
+	// Intake is stopped; drain so every acknowledged record is applied
+	// and therefore captured below.
+	for _, sh := range b.shards {
+		for sh.pending.Load() != 0 {
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	boundary, err := j.log.Seal()
+	if err != nil {
+		unlock()
+		j.met.CheckpointErrors.Inc()
+		return 0, err
+	}
+	snaps := b.capture()
+	unlock()
+
+	start := time.Now()
+	if err := j.writeSnapshot(boundary, snaps); err != nil {
+		j.met.CheckpointErrors.Inc()
+		return 0, err
+	}
+	j.met.Checkpoints.Inc()
+	j.met.CheckpointWrite.Observe(time.Since(start))
+	// Prune below the oldest *retained* snapshot, not this one: the
+	// older generations are only useful fallbacks if the WAL suffix
+	// past their boundary still exists.
+	if n, err := j.log.PruneBelow(j.pruneFloor(boundary)); err != nil {
+		b.logf("stream: prune: %v", err)
+	} else {
+		j.met.SegmentsPruned.Add(int64(n))
+	}
+	b.recordsSince.Store(0)
+	return boundary, nil
+}
+
+// capture deep-copies every stream's checkpointable state. Callers
+// hold every ingestMu with queues drained, so the copy is a consistent
+// cut; shard mutexes still guard against concurrent readers.
+func (b *Broker) capture() []streamSnap {
+	var out []streamSnap
+	for _, sh := range b.shards {
+		sh.mu.Lock()
+		for _, st := range sh.streams {
+			ss := streamSnap{
+				Name:      st.name,
+				Contracts: append([]string(nil), st.contracts...),
+				Events:    st.events,
+				Verdicts:  append([]Verdict(nil), st.verdicts...),
+			}
+			for i := range st.atts {
+				a := &st.atts[i]
+				ss.States = append(ss.States, a.g.auto.N)
+				ss.Frontiers = append(ss.Frontiers, a.frontier())
+				ss.Statuses = append(ss.Statuses, int(a.status))
+			}
+			out = append(out, ss)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func snapshotPath(dir string, boundary uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%016d%s", snapshotPrefix, boundary, snapshotSuffix))
+}
+
+func (j *journal) writeSnapshot(boundary uint64, snaps []streamSnap) error {
+	path := snapshotPath(j.dir, boundary)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	enc := gob.NewEncoder(f)
+	if err := enc.Encode(snapshotFile{Format: snapshotFormat, Boundary: boundary, Streams: snaps}); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := syncDir(j.dir); err != nil {
+		return err
+	}
+	j.pruneSnapshots(boundary)
+	return nil
+}
+
+// pruneFloor returns the boundary of the oldest snapshot still on
+// disk, so WAL segments any retained generation would replay from
+// survive pruning. Falls back to the given boundary when no snapshot
+// parses.
+func (j *journal) pruneFloor(boundary uint64) uint64 {
+	paths, _ := snapshotPaths(j.dir)
+	for _, p := range paths {
+		if seq, err := snapshotSeq(p); err == nil {
+			return min(seq, boundary)
+		}
+	}
+	return boundary
+}
+
+// pruneSnapshots removes snapshot generations older than the newest
+// j.keep.
+func (j *journal) pruneSnapshots(latest uint64) {
+	paths, _ := snapshotPaths(j.dir)
+	old := 0
+	for i := len(paths) - 1; i >= 0; i-- {
+		seq, err := snapshotSeq(paths[i])
+		if err != nil || seq > latest {
+			continue
+		}
+		old++
+		if old > j.keep {
+			if os.Remove(paths[i]) == nil {
+				j.met.SnapshotsPruned.Inc()
+			}
+		}
+	}
+}
+
+// loadSnapshot returns the newest decodable snapshot, skipping (and
+// reporting) any that fail to decode — a crash mid-rename leaves only
+// complete older generations behind the atomic rename, but refusing to
+// start over one bad file would be worse than falling back.
+func (j *journal) loadSnapshot(logf func(string, ...any)) (*snapshotFile, string, []string) {
+	paths, err := snapshotPaths(j.dir)
+	if err != nil {
+		return nil, "", nil
+	}
+	var skipped []string
+	for i := len(paths) - 1; i >= 0; i-- {
+		f, err := os.Open(paths[i])
+		if err != nil {
+			skipped = append(skipped, paths[i])
+			continue
+		}
+		var snap snapshotFile
+		err = gob.NewDecoder(f).Decode(&snap)
+		f.Close()
+		if err != nil || snap.Format != snapshotFormat {
+			logf("stream: recovery: skipping snapshot %s: %v", paths[i], err)
+			skipped = append(skipped, paths[i])
+			continue
+		}
+		return &snap, paths[i], skipped
+	}
+	return nil, "", skipped
+}
+
+func snapshotPaths(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, snapshotPrefix) && strings.HasSuffix(name, snapshotSuffix) {
+			out = append(out, filepath.Join(dir, name))
+		}
+	}
+	sort.Strings(out) // zero-padded boundary ⇒ lexicographic = numeric
+	return out, nil
+}
+
+func snapshotSeq(path string) (uint64, error) {
+	name := filepath.Base(path)
+	name = strings.TrimPrefix(name, snapshotPrefix)
+	name = strings.TrimSuffix(name, snapshotSuffix)
+	return strconv.ParseUint(name, 10, 64)
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Record encoding: length-prefixed strings and uvarints; event
+// snapshots are raw 8-byte little-endian vocab.Sets. The per-shard
+// scratch buffer (under ingestMu) keeps the append path allocation-
+// light.
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func readString(b []byte) (string, []byte, error) {
+	n, k := binary.Uvarint(b)
+	if k <= 0 || uint64(len(b)-k) < n {
+		return "", nil, errors.New("corrupt string")
+	}
+	return string(b[k : k+int(n)]), b[k+int(n):], nil
+}
+
+func (j *journal) appendCreate(sh *shard, name string, contracts []string) error {
+	buf := sh.encBuf[:0]
+	buf = appendString(buf, name)
+	buf = binary.AppendUvarint(buf, uint64(len(contracts)))
+	for _, c := range contracts {
+		buf = appendString(buf, c)
+	}
+	sh.encBuf = buf
+	_, err := j.log.Append(recCreate, buf)
+	return err
+}
+
+func decodeCreate(b []byte) (string, []string, error) {
+	name, b, err := readString(b)
+	if err != nil {
+		return "", nil, err
+	}
+	n, k := binary.Uvarint(b)
+	if k <= 0 {
+		return "", nil, errors.New("corrupt contract count")
+	}
+	b = b[k:]
+	contracts := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var c string
+		c, b, err = readString(b)
+		if err != nil {
+			return "", nil, err
+		}
+		contracts = append(contracts, c)
+	}
+	return name, contracts, nil
+}
+
+func (j *journal) appendDelete(sh *shard, name string) error {
+	sh.encBuf = appendString(sh.encBuf[:0], name)
+	_, err := j.log.Append(recDelete, sh.encBuf)
+	return err
+}
+
+func (j *journal) appendEvents(sh *shard, name string, first uint64, snaps []vocab.Set) error {
+	buf := sh.encBuf[:0]
+	buf = appendString(buf, name)
+	buf = binary.AppendUvarint(buf, first)
+	buf = binary.AppendUvarint(buf, uint64(len(snaps)))
+	for _, s := range snaps {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(s))
+	}
+	sh.encBuf = buf
+	_, err := j.log.Append(recEvents, buf)
+	return err
+}
+
+func decodeEvents(b []byte) (string, uint64, []vocab.Set, error) {
+	name, b, err := readString(b)
+	if err != nil {
+		return "", 0, nil, err
+	}
+	first, k := binary.Uvarint(b)
+	if k <= 0 {
+		return "", 0, nil, errors.New("corrupt first index")
+	}
+	b = b[k:]
+	n, k := binary.Uvarint(b)
+	if k <= 0 || uint64(len(b)-k) != 8*n {
+		return "", 0, nil, errors.New("corrupt snapshot count")
+	}
+	b = b[k:]
+	snaps := make([]vocab.Set, n)
+	for i := range snaps {
+		snaps[i] = vocab.Set(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return name, first, snaps, nil
+}

@@ -1,0 +1,259 @@
+package stream_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"contractdb/internal/core"
+	"contractdb/internal/stream"
+	"contractdb/internal/vocab"
+)
+
+// testDB builds a database with the running example's flavor of
+// contracts: a safety clause that a refund kills, and a liveness
+// clause that tolerates any finite prefix.
+func testDB(t *testing.T) *core.DB {
+	t.Helper()
+	voc := vocab.MustFromNames("pay", "use", "refund", "change")
+	db := core.NewDB(voc, core.Options{})
+	for _, c := range []struct{ name, spec string }{
+		{"NoRefund", "G !refund"},
+		{"PayBeforeUse", "G(use -> F pay)"},
+		{"NoUseAfterRefund", "G(refund -> X G !use)"},
+	} {
+		if _, err := db.RegisterLTL(c.name, c.spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func newBroker(t *testing.T, db *core.DB, cfg stream.Config) *stream.Broker {
+	t.Helper()
+	b, err := stream.New(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	return b
+}
+
+func TestStreamLifecycleAndVerdicts(t *testing.T) {
+	db := testDB(t)
+	b := newBroker(t, db, stream.Config{Shards: 2})
+	ctx := context.Background()
+
+	info, err := b.Create(ctx, "alice", []string{"NoRefund", "PayBeforeUse"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Events != 0 || len(info.Contracts) != 2 || info.Verdicts != 2 {
+		t.Fatalf("fresh stream info = %+v", info)
+	}
+	for i, st := range info.Statuses {
+		if st != "compliant" {
+			t.Fatalf("initial status[%d] = %q, want compliant", i, st)
+		}
+	}
+
+	// The two initial verdicts are visible immediately, with seq 1 and 2
+	// at event index 0.
+	vs, err := b.Verdicts(ctx, "alice", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 2 || vs[0].Seq != 1 || vs[1].Seq != 2 || vs[0].EventIndex != 0 {
+		t.Fatalf("initial verdicts = %+v", vs)
+	}
+
+	// use,pay keep both compliant; refund violates NoRefund at index 3.
+	if _, err := b.AppendEvents(ctx, "alice", [][]string{{"use"}, {"pay"}, {"refund"}}); err != nil {
+		t.Fatal(err)
+	}
+	b.WaitIdle()
+	vs, err = b.Verdicts(ctx, "alice", 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 {
+		t.Fatalf("verdicts after refund = %+v", vs)
+	}
+	v := vs[0]
+	if v.Contract != "NoRefund" || v.From != "compliant" || v.To != "violated" || v.EventIndex != 3 || v.Seq != 3 {
+		t.Fatalf("violation verdict = %+v", v)
+	}
+
+	// Violated is sticky; further events produce no new verdicts.
+	if _, err := b.AppendEvents(ctx, "alice", [][]string{{"refund"}, {}}); err != nil {
+		t.Fatal(err)
+	}
+	b.WaitIdle()
+	info, err = b.Info("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Events != 5 || info.Verdicts != 3 {
+		t.Fatalf("post-violation info = %+v", info)
+	}
+	if info.Statuses[0] != "violated" || info.Statuses[1] != "compliant" {
+		t.Fatalf("statuses = %v", info.Statuses)
+	}
+
+	if err := b.Delete(ctx, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Info("alice"); !errors.Is(err, stream.ErrNotFound) {
+		t.Fatalf("Info after delete = %v, want ErrNotFound", err)
+	}
+	if _, err := b.Verdicts(ctx, "alice", 0, 0); !errors.Is(err, stream.ErrNotFound) {
+		t.Fatalf("Verdicts after delete = %v, want ErrNotFound", err)
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	db := testDB(t)
+	b := newBroker(t, db, stream.Config{})
+	ctx := context.Background()
+
+	if _, err := b.Create(ctx, "", []string{"NoRefund"}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := b.Create(ctx, "a/b", []string{"NoRefund"}); err == nil {
+		t.Error("slash in name accepted")
+	}
+	if _, err := b.Create(ctx, "s", nil); err == nil {
+		t.Error("no contracts accepted")
+	}
+	if _, err := b.Create(ctx, "s", []string{"NoSuchContract"}); err == nil {
+		t.Error("unknown contract accepted")
+	}
+	if _, err := b.Create(ctx, "s", []string{"NoRefund"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Create(ctx, "s", []string{"NoRefund"}); err == nil {
+		t.Error("duplicate stream accepted")
+	}
+	if _, err := b.AppendEvents(ctx, "ghost", [][]string{{"pay"}}); !errors.Is(err, stream.ErrNotFound) {
+		t.Errorf("append to unknown stream = %v, want ErrNotFound", err)
+	}
+	if _, err := b.AppendEvents(ctx, "s", [][]string{{"teleport"}}); err == nil {
+		t.Error("unknown event accepted")
+	}
+	if err := b.Delete(ctx, "ghost"); !errors.Is(err, stream.ErrNotFound) {
+		t.Errorf("delete unknown stream = %v, want ErrNotFound", err)
+	}
+}
+
+func TestLongPollWakesOnVerdict(t *testing.T) {
+	db := testDB(t)
+	b := newBroker(t, db, stream.Config{})
+	ctx := context.Background()
+	if _, err := b.Create(ctx, "s", []string{"NoRefund"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// No verdict past seq 1 yet: a zero-wait poll returns empty.
+	vs, err := b.Verdicts(ctx, "s", 1, 0)
+	if err != nil || len(vs) != 0 {
+		t.Fatalf("zero-wait poll = %v, %v", vs, err)
+	}
+	// A long poll parks until the violating event lands.
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		b.AppendEvents(context.Background(), "s", [][]string{{"refund"}})
+	}()
+	start := time.Now()
+	vs, err = b.Verdicts(ctx, "s", 1, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || vs[0].To != "violated" {
+		t.Fatalf("long-poll verdicts = %+v", vs)
+	}
+	if time.Since(start) > 4*time.Second {
+		t.Fatal("long poll only returned at timeout")
+	}
+	// A poll past the last verdict times out empty.
+	vs, err = b.Verdicts(ctx, "s", 2, 20*time.Millisecond)
+	if err != nil || len(vs) != 0 {
+		t.Fatalf("timed-out poll = %v, %v", vs, err)
+	}
+	// Context cancellation unparks with the context's error.
+	cctx, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	if _, err := b.Verdicts(cctx, "s", 2, time.Minute); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("canceled poll = %v", err)
+	}
+}
+
+func TestSharedGroupsAndGauges(t *testing.T) {
+	db := testDB(t)
+	b := newBroker(t, db, stream.Config{Shards: 3})
+	ctx := context.Background()
+	// Many streams on the same contract share one compiled automaton
+	// per shard; the gauges see every attachment.
+	names := []string{"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7"}
+	for _, n := range names {
+		if _, err := b.Create(ctx, n, []string{"NoUseAfterRefund", "PayBeforeUse"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, n := range names {
+		if _, err := b.AppendEvents(ctx, n, [][]string{{"use"}, {"refund"}, {"use"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.WaitIdle()
+	for _, n := range names {
+		info, err := b.Info(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Events != 3 || info.Statuses[0] != "violated" {
+			t.Fatalf("%s: info = %+v", n, info)
+		}
+	}
+	g := b.Gauges()
+	if g.Active != len(names) || g.Attachments != 2*len(names) {
+		t.Fatalf("gauges = %+v", g)
+	}
+	if len(g.QueueDepths) != 3 {
+		t.Fatalf("queue depths = %v", g.QueueDepths)
+	}
+	if got := len(b.List()); got != len(names) {
+		t.Fatalf("List() = %d streams, want %d", got, len(names))
+	}
+	m := b.Metrics().Snapshot()
+	if m.Events != int64(3*len(names)) || m.Creates != int64(len(names)) {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if m.Transitions != int64(len(names)) {
+		t.Fatalf("transitions = %d, want %d", m.Transitions, len(names))
+	}
+}
+
+func TestClosedBrokerRefuses(t *testing.T) {
+	db := testDB(t)
+	b, err := stream.New(db, stream.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := b.Create(ctx, "s", []string{"NoRefund"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatalf("second Close = %v", err)
+	}
+	if _, err := b.Create(ctx, "t", []string{"NoRefund"}); !errors.Is(err, stream.ErrClosed) {
+		t.Fatalf("Create on closed broker = %v", err)
+	}
+	if _, err := b.Append(ctx, "s", []vocab.Set{0}); !errors.Is(err, stream.ErrClosed) {
+		t.Fatalf("Append on closed broker = %v", err)
+	}
+}
