@@ -62,6 +62,8 @@ func main() {
 		err = cmdExplain(args)
 	case "monitor":
 		err = cmdMonitor(args)
+	case "snapshot":
+		err = cmdSnapshot(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -94,7 +96,10 @@ commands:
   import -db FILE -in FILE [-workers N] bulk-register a corpus file in parallel
   explain -db FILE -name NAME -spec LTL show a witness run for a permitted query
   monitor -addr URL -stream NAME [-contracts A,B] [-after N] [-follow]
-                                        tail a live stream's verdicts from ctdbd`)
+                                        tail a live stream's verdicts from ctdbd
+  snapshot inspect [-contracts] [-top N] FILE|DATA-DIR
+                                        print a snapshot's section directory
+                                        (v4) or version and counts (legacy gob)`)
 }
 
 func loadDB(path string) (*core.DB, error) {

@@ -86,6 +86,7 @@ func main() {
 	fsync := flag.String("fsync", "always", "WAL fsync policy: always | interval | never")
 	fsyncInterval := flag.Duration("fsync-interval", wal.DefaultSyncInterval, "flush period under -fsync interval")
 	checkpointEvery := flag.Int("checkpoint-every", store.DefaultCheckpointRecords, "auto-checkpoint after this many logged operations (negative disables)")
+	mmapMode := flag.String("mmap", "auto", "snapshot load path: auto maps v4 containers copy-on-write and adopts slabs zero-copy, off reads into the heap")
 	shards := flag.Int("shards", 0, "partition the database across this many scatter-gather shards (0 or 1 = unsharded; requires -data-dir)")
 	streamShards := flag.Int("stream-shards", 1, "ingest workers for the live stream-monitoring subsystem (0 disables /v1/streams)")
 	streamQueue := flag.Int("stream-queue", 0, "pending event batches per stream-ingest shard before pushes block (0 = default)")
@@ -132,8 +133,12 @@ func main() {
 		st      *store.Store
 		persist func() error
 	)
+	if *mmapMode != "auto" && *mmapMode != "off" {
+		fmt.Fprintf(os.Stderr, "ctdbd: unknown -mmap %q (want auto or off)\n", *mmapMode)
+		os.Exit(2)
+	}
 	if *dataDir != "" {
-		st, err = openStore(*dataDir, *events, *fsync, *fsyncInterval, *checkpointEvery, *shards, tracer)
+		st, err = openStore(*dataDir, *events, *fsync, *fsyncInterval, *checkpointEvery, *shards, *mmapMode == "off", tracer)
 		if err != nil {
 			log.Fatalf("ctdbd: %v", err)
 		}
@@ -298,10 +303,14 @@ func recoveryState(r store.RecoveryInfo) *server.RecoveryState {
 		WALReplayUS:       r.WALReplay.Microseconds(),
 		CompiledAdopted:   r.CompiledAdopted,
 		DegradedLoaded:    r.DegradedLoaded,
+		MappedBytes:       r.MappedBytes,
+		CopiedBytes:       r.CopiedBytes,
+		Sections:          r.Sections,
+		MmapFallback:      r.MmapFallback,
 	}
 }
 
-func openStore(dir, events, fsync string, fsyncInterval time.Duration, checkpointEvery, shards int, tracer *trace.Tracer) (*store.Store, error) {
+func openStore(dir, events, fsync string, fsyncInterval time.Duration, checkpointEvery, shards int, noMmap bool, tracer *trace.Tracer) (*store.Store, error) {
 	policy, err := wal.ParseSyncPolicy(fsync)
 	if err != nil {
 		return nil, err
@@ -313,6 +322,7 @@ func openStore(dir, events, fsync string, fsyncInterval time.Duration, checkpoin
 	st, err := store.Open(dir, store.Config{
 		Events:            names,
 		Shards:            shards,
+		NoMmap:            noMmap,
 		Sync:              policy,
 		SyncInterval:      fsyncInterval,
 		CheckpointRecords: checkpointEvery,
@@ -344,6 +354,13 @@ func openStore(dir, events, fsync string, fsyncInterval time.Duration, checkpoin
 		log.Printf("ctdbd: cold start breakdown: snapshot decode %dms, artifact restore %dms, WAL replay %dms (format v%d, %d compiled automata adopted, %d degraded re-pended)",
 			r.SnapshotDecode.Milliseconds(), r.ArtifactRestore.Milliseconds(), r.WALReplay.Milliseconds(),
 			r.SnapshotFormat, r.CompiledAdopted, r.DegradedLoaded)
+	}
+	switch {
+	case r.MappedBytes > 0:
+		log.Printf("ctdbd: snapshot load: %d slab bytes mapped zero-copy, %d bytes copied to heap (%d sections)",
+			r.MappedBytes, r.CopiedBytes, r.Sections)
+	case r.MmapFallback != "" && r.SnapshotPath != "":
+		log.Printf("ctdbd: snapshot load: read into heap (%s), %d bytes copied", r.MmapFallback, r.CopiedBytes)
 	}
 	return st, nil
 }

@@ -92,6 +92,7 @@ func CoarsestProjected(a *buchi.BA, keep vocab.Set) Partition {
 // The start partition must itself separate final from non-final
 // states; the partitions produced by this package always do.
 func RefineProjected(a *buchi.BA, start Partition, keep vocab.Set) Partition {
+	a.EnsureEdges()
 	n := a.NumStates()
 	if n == 0 {
 		return Partition{}
@@ -178,6 +179,7 @@ func (t tripleSlice) sort() {
 // restricts queries to the events the *contract* cites, regardless of
 // which events survive the projection.
 func Quotient(a *buchi.BA, p Partition, keep vocab.Set) *buchi.BA {
+	a.EnsureEdges()
 	q := buchi.New(p.Count)
 	q.Init = buchi.StateID(p.Class[a.Init])
 	for s, out := range a.Out {
@@ -215,6 +217,7 @@ func Reduce(a *buchi.BA) *buchi.BA {
 // lift too), and classes are finality-uniform, so acceptance
 // transfers.
 func CoarsestBackward(a *buchi.BA) Partition {
+	a.EnsureEdges()
 	n := a.NumStates()
 	rev := buchi.New(n)
 	for s, out := range a.Out {

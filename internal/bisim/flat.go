@@ -1,0 +1,202 @@
+package bisim
+
+import (
+	"fmt"
+
+	"contractdb/internal/buchi"
+	"contractdb/internal/vocab"
+)
+
+// PartRef maps one event subset to an entry of the deduplicated
+// partition table. formatVersion 3 stored a full class table per
+// subset even though only ~5% of subsets are distinct (§5.2); the
+// flat form stores each distinct table once and references it.
+type PartRef struct {
+	Set   vocab.Set
+	Table int
+}
+
+// FlatProjections is the formatVersion-4 shape of a contract's
+// projection precomputation: deduplicated, canonically numbered
+// partition class tables plus the budgeted quotient table, both
+// addressed by (event subset → table index) reference lists sorted by
+// subset. Table entries are numbered by first occurrence in reference
+// order, so equal precomputations produce equal structures regardless
+// of how they were built — the invariant the byte-deterministic v4
+// encoding rests on.
+//
+// The class tables and compiled quotients may alias storage owned by
+// a snapshot mapping; treat every slice as read-only.
+type FlatProjections struct {
+	MaxSubset     int
+	PartTables    []Partition
+	PartRefs      []PartRef
+	QuotientTable []*buchi.Compiled
+	QuotientRefs  []QuotientRef
+}
+
+// ExportFlat captures the projection set in flat form. Like Export it
+// reads only immutable precomputed state, never the runtime quotient
+// cache, so equal databases export equal structures regardless of
+// query history. The returned tables alias the set's internal state.
+func (ps *ProjectionSet) ExportFlat() FlatProjections {
+	f := FlatProjections{MaxSubset: ps.MaxSubset}
+	// Dedup by content, not pointer: partitions imported from an old
+	// snapshot and partitions freshly precomputed must flatten to the
+	// same tables for the cross-version byte-equality guarantee.
+	dedup := make(map[string]int)
+	for _, set := range ps.Subsets() {
+		p := ps.parts[set]
+		key := p.Key()
+		idx, ok := dedup[key]
+		if !ok {
+			idx = len(f.PartTables)
+			dedup[key] = idx
+			f.PartTables = append(f.PartTables, *p)
+		}
+		f.PartRefs = append(f.PartRefs, PartRef{Set: set, Table: idx})
+	}
+	// Reuse v3's budgeted quotient selection (fixed bottom-up visit
+	// order), then renumber table entries by first occurrence in the
+	// Set-sorted reference list so the flat numbering is canonical.
+	var v3 ProjectionSnapshot
+	ps.exportQuotients(&v3)
+	remap := make([]int, len(v3.QuotientTable))
+	for i := range remap {
+		remap[i] = -1
+	}
+	for _, ref := range v3.QuotientRefs {
+		if remap[ref.Table] == -1 {
+			remap[ref.Table] = len(f.QuotientTable)
+			f.QuotientTable = append(f.QuotientTable, v3.QuotientTable[ref.Table])
+		}
+		f.QuotientRefs = append(f.QuotientRefs, QuotientRef{Set: ref.Set, Table: remap[ref.Table]})
+	}
+	return f
+}
+
+// validateCanonicalClasses checks that a class table is canonically
+// numbered — classes appear in first-occurrence order 0,1,2,… — and
+// returns the class count. The check replaces v3's normalize-copy:
+// the table may live in a read-only mapping, and a canonical table is
+// exactly what export writes, so a violation means corruption (or a
+// foreign writer), not a formatting variant to repair.
+func validateCanonicalClasses(class []int) (int, error) {
+	next := 0
+	for i, c := range class {
+		switch {
+		case c < 0 || c > next:
+			return 0, fmt.Errorf("bisim: class table not canonically numbered at state %d (class %d, expected ≤ %d)", i, c, next)
+		case c == next:
+			next++
+		}
+	}
+	return next, nil
+}
+
+// ImportFlat rebuilds a ProjectionSet for auto from its flat form.
+// labelEvents is the persisted label-event set (computed at export
+// from the automaton's labels), passed in so import never walks the
+// automaton's adjacency — auto is typically a shell whose edges stay
+// unmaterialized. Class tables are validated in place, never copied;
+// quotient automata are built as shells over the persisted compiled
+// forms.
+func ImportFlat(auto *buchi.BA, labelEvents vocab.Set, f FlatProjections) (*ProjectionSet, error) {
+	n := auto.NumStates()
+	ps := &ProjectionSet{
+		Auto:        auto,
+		MaxSubset:   f.MaxSubset,
+		labelEvents: labelEvents,
+		parts:       make(map[vocab.Set]*Partition, len(f.PartRefs)),
+		quotients:   make(map[vocab.Set]*buchi.BA, len(f.QuotientRefs)),
+	}
+	tables := make([]*Partition, len(f.PartTables))
+	for i := range f.PartTables {
+		t := &f.PartTables[i]
+		if len(t.Class) != n {
+			return nil, fmt.Errorf("bisim: partition table %d has %d entries, automaton has %d states", i, len(t.Class), n)
+		}
+		count, err := validateCanonicalClasses(t.Class)
+		if err != nil {
+			return nil, fmt.Errorf("bisim: partition table %d: %w", i, err)
+		}
+		if t.Count != count {
+			return nil, fmt.Errorf("bisim: partition table %d claims %d classes, holds %d", i, t.Count, count)
+		}
+		tables[i] = t
+	}
+	nextTable := 0
+	for i, ref := range f.PartRefs {
+		if i > 0 && ref.Set <= f.PartRefs[i-1].Set {
+			return nil, fmt.Errorf("bisim: partition refs not strictly sorted at %s", ref.Set)
+		}
+		switch {
+		case ref.Table < 0 || ref.Table > nextTable:
+			return nil, fmt.Errorf("bisim: partition ref for %s cites table %d before its introduction (next is %d)",
+				ref.Set, ref.Table, nextTable)
+		case ref.Table == nextTable:
+			nextTable++
+		}
+		if ref.Table >= len(tables) {
+			return nil, fmt.Errorf("bisim: partition ref for %s cites table %d of %d", ref.Set, ref.Table, len(tables))
+		}
+		ps.parts[ref.Set] = tables[ref.Table]
+	}
+	if nextTable != len(tables) {
+		return nil, fmt.Errorf("bisim: %d partition tables stored, %d referenced", len(tables), nextTable)
+	}
+	ps.PrecomputedSubsets = len(ps.parts)
+	ps.DistinctPartitions = len(tables)
+
+	qBA := make([]*buchi.BA, len(f.QuotientTable))
+	nextQuot := 0
+	for i, ref := range f.QuotientRefs {
+		if i > 0 && ref.Set <= f.QuotientRefs[i-1].Set {
+			return nil, fmt.Errorf("bisim: quotient refs not strictly sorted at %s", ref.Set)
+		}
+		switch {
+		case ref.Table < 0 || ref.Table > nextQuot:
+			return nil, fmt.Errorf("bisim: quotient ref for %s cites table %d before its introduction (next is %d)",
+				ref.Set, ref.Table, nextQuot)
+		case ref.Table == nextQuot:
+			nextQuot++
+		}
+		if ref.Table >= len(qBA) {
+			return nil, fmt.Errorf("bisim: quotient ref for %s cites table %d of %d", ref.Set, ref.Table, len(qBA))
+		}
+		part, ok := ps.parts[ref.Set]
+		if !ok {
+			return nil, fmt.Errorf("bisim: quotient for %s has no matching partition", ref.Set)
+		}
+		q := qBA[ref.Table]
+		if q == nil {
+			qc := f.QuotientTable[ref.Table]
+			if qc == nil {
+				return nil, fmt.Errorf("bisim: quotient table entry %d is empty", ref.Table)
+			}
+			if qc.Events != auto.Events {
+				return nil, fmt.Errorf("bisim: quotient table entry %d has event set %v, automaton has %v",
+					ref.Table, qc.Events, auto.Events)
+			}
+			var err error
+			if q, err = buchi.ShellFromCompiled(qc); err != nil {
+				return nil, fmt.Errorf("bisim: quotient table entry %d: %w", ref.Table, err)
+			}
+			qBA[ref.Table] = q
+		}
+		if q.NumStates() != part.Count {
+			return nil, fmt.Errorf("bisim: quotient for %s has %d states, its partition has %d classes",
+				ref.Set, q.NumStates(), part.Count)
+		}
+		ps.quotients[ref.Set] = q
+	}
+	if nextQuot != len(qBA) {
+		return nil, fmt.Errorf("bisim: %d quotient tables stored, %d referenced", len(qBA), nextQuot)
+	}
+	return ps, nil
+}
+
+// LabelEvents returns the set of events occurring in the automaton's
+// labels, as computed at precomputation time. Persisted alongside the
+// flat form so import never recomputes it from the adjacency.
+func (ps *ProjectionSet) LabelEvents() vocab.Set { return ps.labelEvents }

@@ -56,6 +56,7 @@ func Precompute(a *buchi.BA, maxSubset int) *ProjectionSet {
 		parts:     make(map[vocab.Set]*Partition),
 		quotients: make(map[vocab.Set]*buchi.BA),
 	}
+	a.EnsureEdges()
 	for _, out := range a.Out {
 		for _, e := range out {
 			ps.labelEvents = ps.labelEvents.Union(e.Label.Vars())

@@ -10,6 +10,7 @@ func (a *BA) AcceptsLasso(run ltl.Lasso) bool {
 	if len(run.Cycle) == 0 {
 		return false
 	}
+	a.EnsureEdges()
 	positions := run.Len()
 	n := a.NumStates()
 	node := func(pos int, s StateID) StateID { return StateID(pos*n + int(s)) }
@@ -46,6 +47,7 @@ func (a *BA) AcceptsLasso(run ltl.Lasso) bool {
 // conjunction of literals. Useful for counterexample-style debugging
 // and for cross-checking translation output against the LTL evaluator.
 func (a *BA) FindAcceptingLasso() (ltl.Lasso, bool) {
+	a.EnsureEdges()
 	reach := a.Reachable()
 	on := a.OnAcceptingCycle()
 	// Pick the first reachable final state on an accepting cycle as the

@@ -56,6 +56,29 @@ func (a *BA) validateCompiled(c *Compiled) error {
 			return fmt.Errorf("buchi: adopt: acceptance of state %d disagrees with the automaton", s)
 		}
 	}
+	return validateCompiledSelf(c)
+}
+
+// validateCompiledSelf checks the internal consistency of a compiled
+// form in isolation: CSR shape, offset monotonicity, MaxDeg, edge
+// target and label ranges, label satisfiability and event scoping.
+// The agreement half of adoption (does the form describe *this*
+// automaton?) lives in validateCompiled; shells skip it because the
+// shell is built *from* the form.
+func validateCompiledSelf(c *Compiled) error {
+	if c == nil {
+		return fmt.Errorf("buchi: adopt: nil compiled form")
+	}
+	n := c.N
+	if n < 0 {
+		return fmt.Errorf("buchi: adopt: negative state count %d", n)
+	}
+	if int(c.Init) < 0 || (n > 0 && int(c.Init) >= n) {
+		return fmt.Errorf("buchi: adopt: initial state %d of %d", c.Init, n)
+	}
+	if len(c.Final) != n {
+		return fmt.Errorf("buchi: adopt: acceptance set covers %d states, form has %d", len(c.Final), n)
+	}
 	if len(c.EdgeOff) != n+1 {
 		return fmt.Errorf("buchi: adopt: offset table has %d entries, want %d", len(c.EdgeOff), n+1)
 	}
@@ -96,6 +119,25 @@ func (a *BA) validateCompiled(c *Compiled) error {
 		}
 	}
 	return nil
+}
+
+// ShellFromCompiled wraps a validated compiled form in a BA whose
+// adjacency lists are not materialized: Out stays nil until some
+// analysis calls EnsureEdges. The compiled kernels (product search,
+// stream frontiers, quotient derivation) run entirely off the CSR
+// arrays, so a snapshot-loaded corpus served only through them never
+// allocates per-edge heap structures at all — the edge memory stays
+// wherever the Compiled's arrays live, possibly an mmap'd snapshot.
+//
+// Final aliases c.Final; the shell must be treated as immutable, the
+// same contract every registered automaton already carries.
+func ShellFromCompiled(c *Compiled) (*BA, error) {
+	if err := validateCompiledSelf(c); err != nil {
+		return nil, err
+	}
+	a := &BA{Init: c.Init, Final: c.Final, Events: c.Events}
+	a.compileOnce.Do(func() { a.compiled = c })
+	return a, nil
 }
 
 // FromCompiled reconstructs a BA from a compiled form and adopts the

@@ -39,6 +39,13 @@ type BA struct {
 	// immutable.
 	compileOnce sync.Once
 	compiled    *Compiled
+
+	// Shell automata (ShellFromCompiled) start with Out == nil and the
+	// compiled form installed; edgesOnce materializes Out from the CSR
+	// arrays on the first analysis that needs adjacency lists. The
+	// compiled kernels never do, so a snapshot-loaded corpus keeps its
+	// edge memory in the (possibly mmap'd) compiled form only.
+	edgesOnce sync.Once
 }
 
 // New returns an automaton with n states, initial state 0, and no
@@ -48,7 +55,50 @@ func New(n int) *BA {
 }
 
 // NumStates returns the number of states.
-func (a *BA) NumStates() int { return len(a.Out) }
+func (a *BA) NumStates() int {
+	if a.Out == nil && a.compiled != nil {
+		return a.compiled.N // shell: adjacency not materialized
+	}
+	return len(a.Out)
+}
+
+// EnsureEdges materializes the Out adjacency lists of a shell
+// automaton from its compiled form. It is a no-op (beyond a
+// sync.Once check) for automata built edge-by-edge. Every analysis
+// that walks Out calls it at entry, so callers never need to;
+// it is exported for code that reads a.Out directly (the interpreted
+// kernels, gob encoding). Concurrency-safe.
+//
+// Materialization reproduces exactly the adjacency a fresh
+// construction would hold after MergeAdjacentLabels+Normalize: the
+// CSR form stores edges in canonical order, and registered automata
+// are normalized before compilation, so shell-materialized and
+// originally-built automata are indistinguishable.
+func (a *BA) EnsureEdges() { a.edgesOnce.Do(a.materializeEdges) }
+
+func (a *BA) materializeEdges() {
+	if a.Out != nil {
+		return
+	}
+	c := a.compiled
+	if c == nil {
+		a.Out = make([][]Edge, len(a.Final))
+		return
+	}
+	out := make([][]Edge, c.N)
+	// One backing array, three-index subslices: per-row appends (which
+	// shells never do, but Normalize reslices in place) stay inside
+	// their row.
+	edges := make([]Edge, len(c.EdgeTo))
+	for i := range edges {
+		edges[i] = Edge{Label: c.Labels[c.EdgeLabel[i]], To: StateID(c.EdgeTo[i])}
+	}
+	for s := 0; s < c.N; s++ {
+		lo, hi := c.EdgeOff[s], c.EdgeOff[s+1]
+		out[s] = edges[lo:hi:hi]
+	}
+	a.Out = out
+}
 
 // AddState appends a fresh state and returns its ID.
 func (a *BA) AddState() StateID {
@@ -73,6 +123,7 @@ func (a *BA) AddEdge(from StateID, label Label, to StateID) {
 // simultaneous-lasso existence is unchanged too. Products of clause
 // automata generate large numbers of such edges.
 func (a *BA) Normalize() {
+	a.EnsureEdges()
 	for s, out := range a.Out {
 		if len(out) < 2 {
 			continue
@@ -125,6 +176,7 @@ func (a *BA) MergeAdjacentLabels() {
 		to       StateID
 		pos, neg vocab.Set
 	}
+	a.EnsureEdges()
 	for s, out := range a.Out {
 		for {
 			merged := false
@@ -174,6 +226,7 @@ func (a *BA) SetFinal(s StateID) { a.Final[s] = true }
 
 // NumEdges returns the total number of transitions.
 func (a *BA) NumEdges() int {
+	a.EnsureEdges()
 	n := 0
 	for _, out := range a.Out {
 		n += len(out)
@@ -195,6 +248,7 @@ func (a *BA) FinalStates() []StateID {
 // Reverse returns the reversed adjacency: for each state, the list of
 // incoming edges expressed as Edge{Label, From}.
 func (a *BA) Reverse() [][]Edge {
+	a.EnsureEdges()
 	in := make([][]Edge, a.NumStates())
 	for from, out := range a.Out {
 		for _, e := range out {
@@ -206,6 +260,7 @@ func (a *BA) Reverse() [][]Edge {
 
 // Reachable returns the set of states reachable from Init (inclusive).
 func (a *BA) Reachable() []bool {
+	a.EnsureEdges()
 	seen := make([]bool, a.NumStates())
 	stack := []StateID{a.Init}
 	seen[a.Init] = true
@@ -227,6 +282,7 @@ func (a *BA) Reachable() []bool {
 // components are numbered in reverse topological order (a component's
 // successors have smaller indices).
 func (a *BA) SCCs() (comp []int, count int) {
+	a.EnsureEdges()
 	n := a.NumStates()
 	comp = make([]int, n)
 	for i := range comp {
@@ -305,6 +361,7 @@ func (a *BA) SCCs() (comp []int, count int) {
 // for contract-side lassos; the seeds optimization (paper §6.2.4)
 // precomputes this set at registration time.
 func (a *BA) OnAcceptingCycle() []bool {
+	a.EnsureEdges()
 	comp, count := a.SCCs()
 	// A component supports cycles iff it has an internal edge (this
 	// covers both multi-state components and self-loops).
@@ -364,6 +421,7 @@ func (a *BA) CanReachAcceptingCycle() []bool {
 // transitions. The second result maps old state IDs to new ones (-1
 // for removed states).
 func (a *BA) Trim() (*BA, []StateID) {
+	a.EnsureEdges()
 	reach := a.Reachable()
 	live := a.CanReachAcceptingCycle()
 	remap := make([]StateID, a.NumStates())
@@ -405,6 +463,7 @@ func (a *BA) Trim() (*BA, []StateID) {
 
 // Clone returns a deep copy of the automaton.
 func (a *BA) Clone() *BA {
+	a.EnsureEdges()
 	b := &BA{Init: a.Init, Events: a.Events}
 	b.Final = append([]bool(nil), a.Final...)
 	b.Out = make([][]Edge, len(a.Out))
@@ -430,6 +489,7 @@ func (a *BA) IsEmpty() bool {
 // labels satisfiable and within Events. It returns the first problem
 // found.
 func (a *BA) Validate() error {
+	a.EnsureEdges()
 	n := a.NumStates()
 	if len(a.Final) != n {
 		return fmt.Errorf("buchi: final vector length %d != %d states", len(a.Final), n)

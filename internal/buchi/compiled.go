@@ -64,6 +64,7 @@ func (c *Compiled) Deg(s StateID) int { return int(c.EdgeOff[s+1] - c.EdgeOff[s]
 // stronger one redundant, for acceptance and for simultaneous-lasso
 // existence alike).
 func Compile(a *BA) *Compiled {
+	a.EnsureEdges()
 	compileCount.Add(1)
 	n := a.NumStates()
 	c := &Compiled{

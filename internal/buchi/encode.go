@@ -23,6 +23,7 @@ import (
 
 // Encode writes the automaton to w in the textual format.
 func (a *BA) Encode(w io.Writer, v *vocab.Vocabulary) error {
+	a.EnsureEdges()
 	finals := make([]string, 0, len(a.Final))
 	for s, f := range a.Final {
 		if f {
@@ -137,6 +138,7 @@ func (a *BA) decodeEdge(line string, v *vocab.Vocabulary) error {
 
 // Dot renders the automaton in Graphviz dot syntax for debugging.
 func (a *BA) Dot(v *vocab.Vocabulary, name string) string {
+	a.EnsureEdges()
 	var b strings.Builder
 	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n", name)
 	fmt.Fprintf(&b, "  hidden [shape=point]; hidden -> s%d;\n", a.Init)

@@ -15,6 +15,8 @@ package buchi
 // intersecting (with reduction in between) is dramatically cheaper
 // than a monolithic tableau over the conjunction.
 func Intersect(a, b *BA) *BA {
+	a.EnsureEdges()
+	b.EnsureEdges()
 	nb := b.NumStates()
 	type key int // (s*nb + t)*2 + flag
 	mk := func(s, t StateID, flag int) key { return key((int(s)*nb+int(t))*2 + flag) }

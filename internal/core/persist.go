@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -11,6 +12,7 @@ import (
 	"contractdb/internal/ltl"
 	"contractdb/internal/permission"
 	"contractdb/internal/prefilter"
+	"contractdb/internal/snapfmt"
 	"contractdb/internal/vocab"
 )
 
@@ -63,8 +65,12 @@ type contractSnapshot struct {
 //     quotient tables) and degraded-tier entries. v2 streams remain
 //     loadable: their new fields decode as nil/empty, which the lazy
 //     paths treat as "build on first use".
+//   - 4 moved from a monolithic gob stream to the snapfmt container
+//     (see persist_v4.go): flat little-endian slabs behind a section
+//     directory, adopted zero-copy at load. v2/v3 gob streams still
+//     load; any re-save lands on v4.
 const (
-	formatVersion    = 3
+	formatVersion    = 4
 	minFormatVersion = 2
 )
 
@@ -79,6 +85,9 @@ func SnapshotFormatVersion() int { return formatVersion }
 // was never needed pays the one flattening now rather than on every
 // future load.
 func exportContract(c *Contract) contractSnapshot {
+	// gob encodes the BA reflectively, so a shell automaton (v4 load)
+	// must materialize its adjacency before legacy export sees it.
+	c.auto.EnsureEdges()
 	cs := contractSnapshot{
 		Name:     c.Name,
 		Spec:     c.Spec.String(),
@@ -94,15 +103,24 @@ func exportContract(c *Contract) contractSnapshot {
 }
 
 // Save writes the database, including all precomputed index
-// structures and compiled artifacts, to w in gob format. Contracts
-// still at the degraded tier are saved as degraded (callers wanting a
-// fully-promoted snapshot call WaitIdle first, as the store layer's
-// checkpoint does).
+// structures and compiled artifacts, to w in the v4 container format
+// (see persist_v4.go). Contracts still at the degraded tier are saved
+// as degraded (callers wanting a fully-promoted snapshot call
+// WaitIdle first, as the store layer's checkpoint does).
 func (db *DB) Save(w io.Writer) error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	return db.saveV4(w)
+}
+
+// SaveLegacy writes the v3 gob stream older builds read. It exists
+// for downgrade escapes and as the decode-cost baseline the cold
+// start benchmark compares the container against.
+func (db *DB) SaveLegacy(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	snap := dbSnapshot{
-		FormatVersion: formatVersion,
+		FormatVersion: formatVersion - 1,
 		Events:        db.voc.Names(),
 		Opts:          db.opts,
 		Index:         db.index.Export(),
@@ -127,22 +145,61 @@ type LoadStats struct {
 	// Degraded counts contracts restored at the degraded tier and
 	// re-enqueued for promotion.
 	Degraded int
-	// Decode is the gob wire-decode time; Restore is everything after —
-	// validation, artifact adoption, checker seeding, index and
-	// projection reconstruction.
+	// Decode is the wire-decode time (gob decode for legacy streams;
+	// container parse, head decode and slab view construction for v4).
+	// Restore is everything after — validation, artifact adoption,
+	// checker seeding, index and projection reconstruction.
 	Decode  time.Duration
 	Restore time.Duration
+
+	// v4 container loads only (all zero for legacy gob): total slab
+	// payload bytes, how many of them were copied to the heap instead
+	// of adopted as views (0 on little-endian hosts), and the section
+	// count of the directory.
+	SlabBytes   int64
+	CopiedBytes int64
+	Sections    int
 }
 
-// Load reads a database previously written by Save.
+// Load reads a database previously written by Save (any supported
+// format version).
 func Load(r io.Reader) (*DB, error) {
 	db, _, err := LoadWithStats(r)
 	return db, err
 }
 
 // LoadWithStats is Load, additionally reporting the recovery
-// breakdown the store layer and /v1/health surface.
+// breakdown the store layer and /v1/health surface. The reader is
+// drained into memory first; callers that already hold the bytes (or
+// a mapping) use LoadBytesWithStats directly.
 func LoadWithStats(r io.Reader) (*DB, LoadStats, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, LoadStats{}, fmt.Errorf("core: load: %w", err)
+	}
+	return LoadBytesWithStats(data)
+}
+
+// LoadBytes reads a database from an in-memory snapshot image.
+func LoadBytes(data []byte) (*DB, error) {
+	db, _, err := LoadBytesWithStats(data)
+	return db, err
+}
+
+// LoadBytesWithStats dispatches on the snapshot format: v4 containers
+// adopt data's slabs zero-copy — data must then outlive the database
+// and stay unmodified (a private file mapping qualifies; the store
+// owns that lifetime) — while legacy gob streams decode onto the heap
+// with no retention of data.
+func LoadBytesWithStats(data []byte) (*DB, LoadStats, error) {
+	if snapfmt.Sniff(data) {
+		return loadV4(data)
+	}
+	return loadLegacyWithStats(bytes.NewReader(data))
+}
+
+// loadLegacyWithStats decodes the v2/v3 gob stream format.
+func loadLegacyWithStats(r io.Reader) (*DB, LoadStats, error) {
 	var stats LoadStats
 	var snap dbSnapshot
 	t := time.Now()
@@ -151,9 +208,9 @@ func LoadWithStats(r io.Reader) (*DB, LoadStats, error) {
 	}
 	stats.Decode = time.Since(t)
 	stats.FormatVersion = snap.FormatVersion
-	if snap.FormatVersion < minFormatVersion || snap.FormatVersion > formatVersion {
-		return nil, stats, fmt.Errorf("core: load: snapshot has format version %d, but this build supports versions %d through %d (re-save with a matching build or re-register from specifications)",
-			snap.FormatVersion, minFormatVersion, formatVersion)
+	if snap.FormatVersion < minFormatVersion || snap.FormatVersion >= formatVersion {
+		return nil, stats, fmt.Errorf("core: load: gob snapshot has format version %d, but this build reads gob versions %d through %d (re-save with a matching build or re-register from specifications)",
+			snap.FormatVersion, minFormatVersion, formatVersion-1)
 	}
 	t = time.Now()
 	voc, err := vocab.FromNames(snap.Events...)

@@ -1,0 +1,932 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"contractdb/internal/bisim"
+	"contractdb/internal/buchi"
+	"contractdb/internal/ltl"
+	"contractdb/internal/permission"
+	"contractdb/internal/prefilter"
+	"contractdb/internal/snapfmt"
+	"contractdb/internal/vocab"
+)
+
+// formatVersion 4 replaces the monolithic gob stream with a snapfmt
+// container: a small JSON head carrying names, specs, options and
+// per-contract shape counts, followed by flat little-endian slabs
+// holding every hot numeric table — compiled automata (CSR arrays,
+// label words, final bits), checker seeds, partition class tables,
+// projection reference lists and the prefilter postings. Load adopts
+// the slabs as typed views without copying (see slabview.go), so cold
+// start costs O(page-in) of the file, not O(decode) of its contents.
+//
+// Slab traversal order (save writes and load consumes in lockstep;
+// exact consumption is enforced, leftovers are corruption):
+//
+//	per contract, in head order:
+//	    auto compiled: 4 meta words, EdgeOff (N+1), EdgeTo (E),
+//	        EdgeLabel (E), Labels (L pairs), Final (N bytes)
+//	    checker seeds: N bytes (all tiers; degraded contracts have
+//	        checkers too)
+//	    if not deferred:
+//	        PartTables × class tables (N int64 each, first-occurrence
+//	            order of the Set-sorted reference list)
+//	        PartRefs × (set word, table index)
+//	        Quotients × compiled (same layout as the auto)
+//	        QuotRefs × (set word, table index)
+//	index (unsharded only): node labels (pairs), node word counts,
+//	    concatenated posting words
+//
+// A sharded snapshot (SaveSharded) carries Sharded=true, contracts
+// from every shard merged in name order, and empty index sections:
+// per-shard prefilter indexes depend on the shard count, so they are
+// rebuilt at load from the adopted compiled forms (PrepareCompiled),
+// keeping the bytes count-agnostic.
+
+// Section kinds of the v4 container, in file order.
+const (
+	secCompiledMeta  = 1  // 4 uint64 words per compiled form
+	secEdgeOff       = 2  // int32
+	secEdgeTo        = 3  // int32
+	secEdgeLabel     = 4  // int32
+	secLabels        = 5  // uint64 (Pos, Neg) pairs
+	secFinal         = 6  // 0/1 bytes
+	secSeeds         = 7  // 0/1 bytes
+	secClasses       = 8  // int64
+	secPartRefSets   = 9  // uint64
+	secPartRefTables = 10 // int32
+	secQuotRefSets   = 11 // uint64
+	secQuotRefTables = 12 // int32
+	secIndexLabels   = 13 // uint64 (Pos, Neg) pairs
+	secIndexLens     = 14 // int32
+	secIndexWords    = 15 // uint64
+)
+
+var v4SectionNames = map[uint32]string{
+	secCompiledMeta:  "compiled-meta",
+	secEdgeOff:       "edge-off",
+	secEdgeTo:        "edge-to",
+	secEdgeLabel:     "edge-label",
+	secLabels:        "labels",
+	secFinal:         "final",
+	secSeeds:         "seeds",
+	secClasses:       "classes",
+	secPartRefSets:   "part-ref-sets",
+	secPartRefTables: "part-ref-tables",
+	secQuotRefSets:   "quot-ref-sets",
+	secQuotRefTables: "quot-ref-tables",
+	secIndexLabels:   "index-labels",
+	secIndexLens:     "index-lens",
+	secIndexWords:    "index-words",
+}
+
+// V4SectionName names a section kind for inspection output and
+// errors; unknown kinds render numerically.
+func V4SectionName(kind uint32) string {
+	if n, ok := v4SectionNames[kind]; ok {
+		return n
+	}
+	return fmt.Sprintf("kind-%d", kind)
+}
+
+// v4ContractHead is the per-contract metadata in the head: the
+// strings and the slab shape counts the load cursor consumes by.
+type v4ContractHead struct {
+	Name string
+	Spec string
+
+	// Deferred marks a contract captured at the degraded tier; it has
+	// no projection rows in the slabs and re-enters the pipeline.
+	Deferred bool
+
+	// LabelEvents is the projection set's label-event universe,
+	// persisted so import never walks the automaton's adjacency.
+	LabelEvents vocab.Set
+	MaxSubset   int
+
+	PartTables int
+	PartRefs   int
+	Quotients  int
+	QuotRefs   int
+}
+
+// v4Head is the head of a v4 container, serialized as JSON rather
+// than gob: gob assigns wire type IDs from a process-global counter,
+// so its bytes for the same value depend on what else the process has
+// encoded — fatal for the byte-determinism guarantee Save carries.
+// JSON emits struct fields in declaration order with no global state,
+// and Go's encoder round-trips uint64 (vocab.Set) exactly.
+type v4Head struct {
+	FormatVersion int
+	Sharded       bool
+	Events        []string
+	Opts          Options
+
+	IndexK     int
+	IndexN     int
+	IndexNodes int
+
+	Contracts []v4ContractHead
+}
+
+// packMeta appends a compiled form's scalar shape as 4 uint64 words:
+//
+//	word0 = N | Init<<32        word1 = MaxDeg | NumEdges<<32
+//	word2 = len(Labels)         word3 = Events
+//
+// All halves are uint32; automata near 2^31 states blow the int32 CSR
+// arrays long before this packing.
+func packMeta(dst []uint64, c *buchi.Compiled) []uint64 {
+	return append(dst,
+		uint64(uint32(c.N))|uint64(uint32(c.Init))<<32,
+		uint64(uint32(c.MaxDeg))|uint64(uint32(len(c.EdgeTo)))<<32,
+		uint64(uint32(len(c.Labels))),
+		uint64(c.Events),
+	)
+}
+
+// v4Builder accumulates the slab arrays while contracts are exported.
+type v4Builder struct {
+	metas      []uint64
+	edgeOff    []int32
+	edgeTo     []int32
+	edgeLabel  []int32
+	labelWords []uint64
+	final      []byte
+	seeds      []byte
+
+	classes       []int64
+	partRefSets   []vocab.Set
+	partRefTables []int32
+	quotRefSets   []vocab.Set
+	quotRefTables []int32
+
+	indexLabels []uint64
+	indexLens   []int32
+	indexWords  []uint64
+}
+
+func (b *v4Builder) addCompiled(c *buchi.Compiled) {
+	b.metas = packMeta(b.metas, c)
+	b.edgeOff = append(b.edgeOff, c.EdgeOff...)
+	b.edgeTo = append(b.edgeTo, c.EdgeTo...)
+	b.edgeLabel = append(b.edgeLabel, c.EdgeLabel...)
+	b.labelWords = appendLabels(b.labelWords, c.Labels)
+	b.final = appendBools(b.final, c.Final)
+}
+
+// addContract exports one contract into the builder and returns its
+// head entry. Callers guarantee the contract is quiescent (registered
+// and, for sharded saves, the owning shard idle); proj.mu is taken
+// inside, matching exportContract.
+func (b *v4Builder) addContract(c *Contract) v4ContractHead {
+	h := v4ContractHead{Name: c.Name, Spec: c.Spec.String()}
+	b.addCompiled(c.auto.Compiled())
+	b.seeds = appendBools(b.seeds, c.checker.Seeds())
+	c.proj.mu.Lock()
+	ps := c.proj.ps
+	c.proj.mu.Unlock()
+	if ps == nil {
+		h.Deferred = true
+		return h
+	}
+	f := ps.ExportFlat()
+	h.LabelEvents = ps.LabelEvents()
+	h.MaxSubset = f.MaxSubset
+	h.PartTables = len(f.PartTables)
+	h.PartRefs = len(f.PartRefs)
+	h.Quotients = len(f.QuotientTable)
+	h.QuotRefs = len(f.QuotientRefs)
+	for _, t := range f.PartTables {
+		b.classes = appendInts(b.classes, t.Class)
+	}
+	for _, r := range f.PartRefs {
+		b.partRefSets = append(b.partRefSets, r.Set)
+		b.partRefTables = append(b.partRefTables, int32(r.Table))
+	}
+	for _, qc := range f.QuotientTable {
+		b.addCompiled(qc)
+	}
+	for _, r := range f.QuotientRefs {
+		b.quotRefSets = append(b.quotRefSets, r.Set)
+		b.quotRefTables = append(b.quotRefTables, int32(r.Table))
+	}
+	return h
+}
+
+// writeV4 frames the head and slabs into a snapfmt container. All 15
+// sections are always present (possibly empty) so readers parse one
+// fixed shape.
+func writeV4(w io.Writer, head v4Head, b *v4Builder) error {
+	hb, err := json.Marshal(head)
+	if err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	var fw snapfmt.Writer
+	fw.SetHead(hb)
+	fw.AddSection(secCompiledMeta, snapfmt.AppendSlice[uint64](nil, b.metas))
+	fw.AddSection(secEdgeOff, snapfmt.AppendSlice[int32](nil, b.edgeOff))
+	fw.AddSection(secEdgeTo, snapfmt.AppendSlice[int32](nil, b.edgeTo))
+	fw.AddSection(secEdgeLabel, snapfmt.AppendSlice[int32](nil, b.edgeLabel))
+	fw.AddSection(secLabels, snapfmt.AppendSlice[uint64](nil, b.labelWords))
+	fw.AddSection(secFinal, b.final)
+	fw.AddSection(secSeeds, b.seeds)
+	fw.AddSection(secClasses, snapfmt.AppendSlice[int64](nil, b.classes))
+	fw.AddSection(secPartRefSets, snapfmt.AppendSlice[vocab.Set](nil, b.partRefSets))
+	fw.AddSection(secPartRefTables, snapfmt.AppendSlice[int32](nil, b.partRefTables))
+	fw.AddSection(secQuotRefSets, snapfmt.AppendSlice[vocab.Set](nil, b.quotRefSets))
+	fw.AddSection(secQuotRefTables, snapfmt.AppendSlice[int32](nil, b.quotRefTables))
+	fw.AddSection(secIndexLabels, snapfmt.AppendSlice[uint64](nil, b.indexLabels))
+	fw.AddSection(secIndexLens, snapfmt.AppendSlice[int32](nil, b.indexLens))
+	fw.AddSection(secIndexWords, snapfmt.AppendSlice[uint64](nil, b.indexWords))
+	if _, err := fw.WriteTo(w); err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	return nil
+}
+
+// saveV4 renders the whole database. Callers hold db.mu (read).
+func (db *DB) saveV4(w io.Writer) error {
+	head := v4Head{
+		FormatVersion: formatVersion,
+		Events:        db.voc.Names(),
+		Opts:          db.opts,
+	}
+	var b v4Builder
+	for _, c := range db.contracts {
+		head.Contracts = append(head.Contracts, b.addContract(c))
+	}
+	labels, lens, words := db.index.ExportFlat()
+	head.IndexK = db.index.K()
+	head.IndexN = db.index.Len()
+	head.IndexNodes = len(labels)
+	b.indexLabels = appendLabels(nil, labels)
+	b.indexLens = lens
+	b.indexWords = words
+	return writeV4(w, head, &b)
+}
+
+// SaveSharded writes one v4 container holding every shard's contracts
+// merged in name order. The bytes depend only on the corpus, never on
+// the shard count — a snapshot saved at N shards reloads at M. Each
+// shard is drained (WaitIdle) first so a quiescent save captures all
+// contracts at the full tier.
+func SaveSharded(w io.Writer, events []string, opts Options, shards []*DB) error {
+	var all []*Contract
+	for _, sh := range shards {
+		sh.WaitIdle()
+		sh.mu.RLock()
+		all = append(all, sh.contracts...)
+		sh.mu.RUnlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
+	head := v4Head{
+		FormatVersion: formatVersion,
+		Sharded:       true,
+		Events:        events,
+		Opts:          opts,
+	}
+	var b v4Builder
+	for _, c := range all {
+		head.Contracts = append(head.Contracts, b.addContract(c))
+	}
+	return writeV4(w, head, &b)
+}
+
+// take removes the first n entries from *s, returning them with
+// capacity clamped so later appends cannot reach the remainder.
+func take[T any](s *[]T, n int, what string) ([]T, error) {
+	if n < 0 || n > len(*s) {
+		return nil, fmt.Errorf("slab underrun: need %d %s entries, have %d", n, what, len(*s))
+	}
+	out := (*s)[:n:n]
+	*s = (*s)[n:]
+	return out, nil
+}
+
+// v4Cursor walks the typed slab views in traversal order. The views
+// alias the container buffer on little-endian hosts; everything
+// handed out keeps that aliasing.
+type v4Cursor struct {
+	metas         []uint64
+	edgeOff       []int32
+	edgeTo        []int32
+	edgeLabel     []int32
+	labels        []buchi.Label
+	final         []bool
+	seeds         []bool
+	classes       []int
+	partRefSets   []vocab.Set
+	partRefTables []int32
+	quotRefSets   []vocab.Set
+	quotRefTables []int32
+	indexLabels   []buchi.Label
+	indexLens     []int32
+	indexWords    []uint64
+}
+
+func newV4Cursor(f *snapfmt.File) (*v4Cursor, error) {
+	for kind := uint32(secCompiledMeta); kind <= secIndexWords; kind++ {
+		if _, ok := f.Section(kind); !ok {
+			return nil, fmt.Errorf("snapshot missing section %s", V4SectionName(kind))
+		}
+	}
+	sec := func(kind uint32) []byte {
+		b, _ := f.Section(kind)
+		return b
+	}
+	cur := &v4Cursor{}
+	var err error
+	step := func(kind uint32, e error) {
+		if err == nil && e != nil {
+			err = fmt.Errorf("section %s: %w", V4SectionName(kind), e)
+		}
+	}
+	var e error
+	cur.metas, e = snapfmt.ViewSlice[uint64](sec(secCompiledMeta))
+	step(secCompiledMeta, e)
+	cur.edgeOff, e = snapfmt.ViewSlice[int32](sec(secEdgeOff))
+	step(secEdgeOff, e)
+	cur.edgeTo, e = snapfmt.ViewSlice[int32](sec(secEdgeTo))
+	step(secEdgeTo, e)
+	cur.edgeLabel, e = snapfmt.ViewSlice[int32](sec(secEdgeLabel))
+	step(secEdgeLabel, e)
+	cur.labels, e = viewLabels(sec(secLabels))
+	step(secLabels, e)
+	cur.final, e = viewBools(sec(secFinal))
+	step(secFinal, e)
+	cur.seeds, e = viewBools(sec(secSeeds))
+	step(secSeeds, e)
+	cur.classes, e = viewInts(sec(secClasses))
+	step(secClasses, e)
+	cur.partRefSets, e = viewSets(sec(secPartRefSets))
+	step(secPartRefSets, e)
+	cur.partRefTables, e = snapfmt.ViewSlice[int32](sec(secPartRefTables))
+	step(secPartRefTables, e)
+	cur.quotRefSets, e = viewSets(sec(secQuotRefSets))
+	step(secQuotRefSets, e)
+	cur.quotRefTables, e = snapfmt.ViewSlice[int32](sec(secQuotRefTables))
+	step(secQuotRefTables, e)
+	cur.indexLabels, e = viewLabels(sec(secIndexLabels))
+	step(secIndexLabels, e)
+	cur.indexLens, e = snapfmt.ViewSlice[int32](sec(secIndexLens))
+	step(secIndexLens, e)
+	cur.indexWords, e = snapfmt.ViewSlice[uint64](sec(secIndexWords))
+	step(secIndexWords, e)
+	if err != nil {
+		return nil, err
+	}
+	return cur, nil
+}
+
+// takeCompiled consumes one compiled form. Shape counts come from the
+// meta words; semantic validity is the shell adopter's job
+// (validateCompiledSelf), which every consumer runs.
+func (cur *v4Cursor) takeCompiled() (*buchi.Compiled, error) {
+	m, err := take(&cur.metas, 4, "compiled-meta")
+	if err != nil {
+		return nil, err
+	}
+	n := int(uint32(m[0]))
+	edges := int(uint32(m[1] >> 32))
+	nLabels := int(uint32(m[2]))
+	c := &buchi.Compiled{
+		N:      n,
+		Init:   buchi.StateID(int32(uint32(m[0] >> 32))),
+		Events: vocab.Set(m[3]),
+		MaxDeg: int(uint32(m[1])),
+	}
+	if c.EdgeOff, err = take(&cur.edgeOff, n+1, "edge-off"); err != nil {
+		return nil, err
+	}
+	if c.EdgeTo, err = take(&cur.edgeTo, edges, "edge-to"); err != nil {
+		return nil, err
+	}
+	if c.EdgeLabel, err = take(&cur.edgeLabel, edges, "edge-label"); err != nil {
+		return nil, err
+	}
+	if c.Labels, err = take(&cur.labels, nLabels, "labels"); err != nil {
+		return nil, err
+	}
+	if c.Final, err = take(&cur.final, n, "final"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// restoreContract rebuilds one contract from the cursor: shell
+// automaton over the adopted compiled form, persisted checker seeds,
+// flat projection import. Nothing is flattened, translated or copied.
+func (cur *v4Cursor) restoreContract(id ContractID, h v4ContractHead, stats *LoadStats) (*Contract, bool, error) {
+	fail := func(err error) (*Contract, bool, error) {
+		return nil, false, fmt.Errorf("contract %q: %w", h.Name, err)
+	}
+	spec, err := ltl.Parse(h.Spec)
+	if err != nil {
+		return fail(err)
+	}
+	cc, err := cur.takeCompiled()
+	if err != nil {
+		return fail(err)
+	}
+	auto, err := buchi.ShellFromCompiled(cc)
+	if err != nil {
+		return fail(err)
+	}
+	seeds, err := take(&cur.seeds, cc.N, "seeds")
+	if err != nil {
+		return fail(err)
+	}
+	stats.CompiledAdopted++
+	c := &Contract{
+		ID:      id,
+		Name:    h.Name,
+		Spec:    spec,
+		auto:    auto,
+		checker: permission.NewChecker(auto, permission.WithSeeds(seeds)),
+		proj:    &projState{},
+	}
+	if h.Deferred {
+		if h.PartTables != 0 || h.PartRefs != 0 || h.Quotients != 0 || h.QuotRefs != 0 {
+			return fail(fmt.Errorf("deferred contract carries %d projection rows", h.PartRefs))
+		}
+		stats.Degraded++
+		return c, true, nil
+	}
+	if h.PartRefs == 0 {
+		return fail(fmt.Errorf("full-tier contract has no projection subsets"))
+	}
+	// The persisted label-event universe must cover every event the
+	// kept labels cite and stay inside the automaton's alphabet; a
+	// value outside that band would silently project against the
+	// wrong subset lattice.
+	var used vocab.Set
+	for _, l := range cc.Labels {
+		used = used.Union(l.Vars())
+	}
+	if !used.SubsetOf(h.LabelEvents) || !h.LabelEvents.SubsetOf(cc.Events) {
+		return fail(fmt.Errorf("label events %v inconsistent with labels %v / alphabet %v",
+			h.LabelEvents, used, cc.Events))
+	}
+	flat := bisim.FlatProjections{MaxSubset: h.MaxSubset}
+	flat.PartTables = make([]bisim.Partition, h.PartTables)
+	for t := range flat.PartTables {
+		cls, err := take(&cur.classes, cc.N, "classes")
+		if err != nil {
+			return fail(err)
+		}
+		count := 0
+		for _, v := range cls {
+			if v >= count {
+				count = v + 1
+			}
+		}
+		flat.PartTables[t] = bisim.Partition{Class: cls, Count: count}
+	}
+	sets, err := take(&cur.partRefSets, h.PartRefs, "part-ref-sets")
+	if err != nil {
+		return fail(err)
+	}
+	tables, err := take(&cur.partRefTables, h.PartRefs, "part-ref-tables")
+	if err != nil {
+		return fail(err)
+	}
+	flat.PartRefs = make([]bisim.PartRef, h.PartRefs)
+	for i := range flat.PartRefs {
+		flat.PartRefs[i] = bisim.PartRef{Set: sets[i], Table: int(tables[i])}
+	}
+	flat.QuotientTable = make([]*buchi.Compiled, h.Quotients)
+	for q := range flat.QuotientTable {
+		if flat.QuotientTable[q], err = cur.takeCompiled(); err != nil {
+			return fail(err)
+		}
+	}
+	qsets, err := take(&cur.quotRefSets, h.QuotRefs, "quot-ref-sets")
+	if err != nil {
+		return fail(err)
+	}
+	qtables, err := take(&cur.quotRefTables, h.QuotRefs, "quot-ref-tables")
+	if err != nil {
+		return fail(err)
+	}
+	flat.QuotientRefs = make([]bisim.QuotientRef, h.QuotRefs)
+	for i := range flat.QuotientRefs {
+		flat.QuotientRefs[i] = bisim.QuotientRef{Set: qsets[i], Table: int(qtables[i])}
+	}
+	ps, err := bisim.ImportFlat(auto, h.LabelEvents, flat)
+	if err != nil {
+		return fail(err)
+	}
+	c.proj.ps = ps
+	return c, false, nil
+}
+
+// skipContract consumes one contract's slab rows without rebuilding
+// anything — the inspection path's footprint walk.
+func (cur *v4Cursor) skipContract(h v4ContractHead) error {
+	skipCompiled := func() error {
+		m, err := take(&cur.metas, 4, "compiled-meta")
+		if err != nil {
+			return err
+		}
+		n, edges, nLabels := int(uint32(m[0])), int(uint32(m[1]>>32)), int(uint32(m[2]))
+		if _, err := take(&cur.edgeOff, n+1, "edge-off"); err != nil {
+			return err
+		}
+		if _, err := take(&cur.edgeTo, edges, "edge-to"); err != nil {
+			return err
+		}
+		if _, err := take(&cur.edgeLabel, edges, "edge-label"); err != nil {
+			return err
+		}
+		if _, err := take(&cur.labels, nLabels, "labels"); err != nil {
+			return err
+		}
+		if _, err := take(&cur.final, n, "final"); err != nil {
+			return err
+		}
+		return nil
+	}
+	m := cur.metas
+	if len(m) < 4 {
+		return fmt.Errorf("slab underrun: need 4 compiled-meta entries, have %d", len(m))
+	}
+	n := int(uint32(m[0]))
+	if err := skipCompiled(); err != nil {
+		return err
+	}
+	if _, err := take(&cur.seeds, n, "seeds"); err != nil {
+		return err
+	}
+	if _, err := take(&cur.classes, h.PartTables*n, "classes"); err != nil {
+		return err
+	}
+	if _, err := take(&cur.partRefSets, h.PartRefs, "part-ref-sets"); err != nil {
+		return err
+	}
+	if _, err := take(&cur.partRefTables, h.PartRefs, "part-ref-tables"); err != nil {
+		return err
+	}
+	for q := 0; q < h.Quotients; q++ {
+		if err := skipCompiled(); err != nil {
+			return err
+		}
+	}
+	if _, err := take(&cur.quotRefSets, h.QuotRefs, "quot-ref-sets"); err != nil {
+		return err
+	}
+	if _, err := take(&cur.quotRefTables, h.QuotRefs, "quot-ref-tables"); err != nil {
+		return err
+	}
+	return nil
+}
+
+// remainingBytes reports the encoded size of everything the cursor
+// has not yet consumed, used to attribute slab bytes per contract.
+func (cur *v4Cursor) remainingBytes() int64 {
+	i32 := len(cur.edgeOff) + len(cur.edgeTo) + len(cur.edgeLabel) +
+		len(cur.partRefTables) + len(cur.quotRefTables) + len(cur.indexLens)
+	u64 := len(cur.metas) + len(cur.classes) + len(cur.partRefSets) +
+		len(cur.quotRefSets) + len(cur.indexWords)
+	pairs := len(cur.labels) + len(cur.indexLabels)
+	return int64(4*i32) + int64(8*u64) + int64(16*pairs) +
+		int64(len(cur.final)) + int64(len(cur.seeds))
+}
+
+// assertDrained verifies exact consumption: a well-formed container
+// has nothing left once every head entry is restored.
+func (cur *v4Cursor) assertDrained() error {
+	left := map[string]int{
+		"compiled-meta":   len(cur.metas),
+		"edge-off":        len(cur.edgeOff),
+		"edge-to":         len(cur.edgeTo),
+		"edge-label":      len(cur.edgeLabel),
+		"labels":          len(cur.labels),
+		"final":           len(cur.final),
+		"seeds":           len(cur.seeds),
+		"classes":         len(cur.classes),
+		"part-ref-sets":   len(cur.partRefSets),
+		"part-ref-tables": len(cur.partRefTables),
+		"quot-ref-sets":   len(cur.quotRefSets),
+		"quot-ref-tables": len(cur.quotRefTables),
+		"index-labels":    len(cur.indexLabels),
+		"index-lens":      len(cur.indexLens),
+		"index-words":     len(cur.indexWords),
+	}
+	for _, name := range []string{
+		"compiled-meta", "edge-off", "edge-to", "edge-label", "labels",
+		"final", "seeds", "classes", "part-ref-sets", "part-ref-tables",
+		"quot-ref-sets", "quot-ref-tables", "index-labels", "index-lens",
+		"index-words",
+	} {
+		if left[name] > 0 {
+			return fmt.Errorf("snapshot has %d unconsumed %s entries", left[name], name)
+		}
+	}
+	return nil
+}
+
+// decodeV4Head parses the container and decodes its JSON head,
+// checking the format version. Shared by the load and inspect paths.
+func decodeV4Head(data []byte) (*snapfmt.File, v4Head, error) {
+	var head v4Head
+	f, err := snapfmt.Parse(data)
+	if err != nil {
+		return nil, head, err
+	}
+	if err := json.Unmarshal(f.Head, &head); err != nil {
+		return nil, head, fmt.Errorf("head: %w", err)
+	}
+	if head.FormatVersion != formatVersion {
+		return nil, head, fmt.Errorf("container has format version %d, this build writes %d (legacy gob handles %d through %d)",
+			head.FormatVersion, formatVersion, minFormatVersion, formatVersion-1)
+	}
+	return f, head, nil
+}
+
+// loadV4 rebuilds a database from a v4 container. data must stay
+// valid (and unmodified apart from prefilter posting bits) for the
+// database's lifetime: every adopted slab aliases it. The store owns
+// that lifetime when data is a file mapping.
+func loadV4(data []byte) (*DB, LoadStats, error) {
+	var stats LoadStats
+	t := time.Now()
+	f, head, err := decodeV4Head(data)
+	if err != nil {
+		return nil, stats, fmt.Errorf("core: load: %w", err)
+	}
+	stats.FormatVersion = head.FormatVersion
+	stats.Sections = len(f.Sections)
+	stats.SlabBytes = f.SlabBytes()
+	if head.Sharded {
+		return nil, stats, fmt.Errorf("core: load: snapshot is sharded; route it through the shard loader")
+	}
+	cur, err := newV4Cursor(f)
+	if err != nil {
+		return nil, stats, fmt.Errorf("core: load: %w", err)
+	}
+	if !snapfmt.HostZeroCopy() {
+		stats.CopiedBytes = stats.SlabBytes
+	} else if !hostAdoptsInts() {
+		if b, ok := f.Section(secClasses); ok {
+			stats.CopiedBytes = int64(len(b))
+		}
+	}
+	stats.Decode = time.Since(t)
+	t = time.Now()
+	voc, err := vocab.FromNames(head.Events...)
+	if err != nil {
+		return nil, stats, fmt.Errorf("core: load: %w", err)
+	}
+	db := NewDB(voc, head.Opts)
+	if len(cur.indexLabels) != head.IndexNodes {
+		return nil, stats, fmt.Errorf("core: load: head claims %d index nodes, slab holds %d",
+			head.IndexNodes, len(cur.indexLabels))
+	}
+	db.index, err = prefilter.ImportFlat(head.IndexK, head.IndexN, cur.indexLabels, cur.indexLens, cur.indexWords)
+	if err != nil {
+		return nil, stats, fmt.Errorf("core: load: %w", err)
+	}
+	cur.indexLabels, cur.indexLens, cur.indexWords = nil, nil, nil
+	var deferred []*Contract
+	for i, h := range head.Contracts {
+		c, wasDeferred, err := cur.restoreContract(ContractID(i), h, &stats)
+		if err != nil {
+			return nil, stats, fmt.Errorf("core: load: %w", err)
+		}
+		if _, dup := db.byName[c.Name]; dup {
+			return nil, stats, fmt.Errorf("core: load: duplicate contract name %q", c.Name)
+		}
+		db.contracts = append(db.contracts, c)
+		db.byName[c.Name] = c
+		if wasDeferred {
+			deferred = append(deferred, c)
+		}
+	}
+	if err := cur.assertDrained(); err != nil {
+		return nil, stats, fmt.Errorf("core: load: %w", err)
+	}
+	if db.index.Len() != len(db.contracts) {
+		return nil, stats, fmt.Errorf("core: load: index covers %d contracts, database has %d",
+			db.index.Len(), len(db.contracts))
+	}
+	db.epoch++
+	for _, c := range deferred {
+		if db.ingest != nil {
+			db.ingest.enqueue(c)
+		} else {
+			db.promote(c)
+		}
+	}
+	stats.Contracts = len(db.contracts)
+	stats.Restore = time.Since(t)
+	return db, stats, nil
+}
+
+// LoadShardedV4 installs a sharded v4 container's contracts into the
+// databases chosen by place (the shard router), rebuilding each
+// shard's prefilter index from the adopted compiled forms. All target
+// databases must share one vocabulary built from the snapshot's
+// events. data's lifetime rules match loadV4.
+func LoadShardedV4(data []byte, place func(name string) *DB, stats *LoadStats) error {
+	t := time.Now()
+	f, head, err := decodeV4Head(data)
+	if err != nil {
+		return fmt.Errorf("core: load: %w", err)
+	}
+	stats.FormatVersion = head.FormatVersion
+	stats.Sections = len(f.Sections)
+	stats.SlabBytes = f.SlabBytes()
+	if !head.Sharded {
+		return fmt.Errorf("core: load: snapshot is not sharded")
+	}
+	if head.IndexNodes != 0 {
+		return fmt.Errorf("core: load: sharded snapshot carries a prefilter index (%d nodes); indexes are per-shard and rebuilt at load", head.IndexNodes)
+	}
+	cur, err := newV4Cursor(f)
+	if err != nil {
+		return fmt.Errorf("core: load: %w", err)
+	}
+	if !snapfmt.HostZeroCopy() {
+		stats.CopiedBytes = stats.SlabBytes
+	} else if !hostAdoptsInts() {
+		if b, ok := f.Section(secClasses); ok {
+			stats.CopiedBytes = int64(len(b))
+		}
+	}
+	stats.Decode = time.Since(t)
+	t = time.Now()
+	for _, h := range head.Contracts {
+		db := place(h.Name)
+		if db == nil {
+			return fmt.Errorf("core: load: no shard for contract %q", h.Name)
+		}
+		c, wasDeferred, err := cur.restoreContract(0, h, stats)
+		if err != nil {
+			return fmt.Errorf("core: load: %w", err)
+		}
+		db.mu.Lock()
+		if _, dup := db.byName[c.Name]; dup {
+			db.mu.Unlock()
+			return fmt.Errorf("core: load: duplicate contract name %q", c.Name)
+		}
+		c.ID = ContractID(len(db.contracts))
+		db.contracts = append(db.contracts, c)
+		db.byName[c.Name] = c
+		db.index.InsertPrepared(int(c.ID), prefilter.PrepareCompiled(c.auto.Compiled(), db.index.K()))
+		db.epoch++
+		ingest := db.ingest
+		db.mu.Unlock()
+		if wasDeferred {
+			if ingest != nil {
+				ingest.enqueue(c)
+			} else {
+				db.promote(c)
+			}
+		}
+	}
+	if err := cur.assertDrained(); err != nil {
+		return fmt.Errorf("core: load: %w", err)
+	}
+	stats.Contracts = len(head.Contracts)
+	stats.Restore = time.Since(t)
+	return nil
+}
+
+// SnapshotInfo is the cheap dispatch view of a v4 container: enough
+// for a router to choose a loader without validating any slab.
+type SnapshotInfo struct {
+	Sharded   bool
+	Events    []string
+	Opts      Options
+	Contracts int
+}
+
+// PeekV4 decodes only the head of a v4 container. It does not
+// validate section checksums — callers must still run a full loader
+// before trusting any slab.
+func PeekV4(data []byte) (SnapshotInfo, error) {
+	var info SnapshotInfo
+	hb, err := snapfmt.PeekHead(data)
+	if err != nil {
+		return info, fmt.Errorf("core: peek: %w", err)
+	}
+	var head v4Head
+	if err := json.Unmarshal(hb, &head); err != nil {
+		return info, fmt.Errorf("core: peek: head: %w", err)
+	}
+	info.Sharded = head.Sharded
+	info.Events = head.Events
+	info.Opts = head.Opts
+	info.Contracts = len(head.Contracts)
+	return info, nil
+}
+
+// IsContainer reports whether data begins with the v4 container
+// magic. False means legacy gob (v2/v3) or garbage.
+func IsContainer(data []byte) bool { return snapfmt.Sniff(data) }
+
+// SectionInfo is one section directory row for inspection output.
+type SectionInfo struct {
+	Kind  uint32
+	Name  string
+	Bytes int64
+	CRC   uint32
+}
+
+// ContractFootprint attributes slab bytes to one contract.
+type ContractFootprint struct {
+	Name      string
+	Deferred  bool
+	SlabBytes int64
+}
+
+// SnapshotInspection is the `ctdb snapshot inspect` view of a
+// snapshot file: the section directory for v4 containers, or the bare
+// facts of a legacy gob stream.
+type SnapshotInspection struct {
+	Container     bool // false: legacy gob (v2/v3)
+	FormatVersion int
+	Sharded       bool
+	Events        int
+	Contracts     int
+	Deferred      int
+	FileBytes     int64
+	HeadBytes     int64
+	SlabBytes     int64
+	Sections      []SectionInfo
+	PerContract   []ContractFootprint
+}
+
+// InspectSnapshot reads a snapshot's structure without building a
+// database. v4 containers are fully CRC-validated and walked for
+// per-contract footprints; legacy gob streams report their version
+// and counts.
+func InspectSnapshot(data []byte) (*SnapshotInspection, error) {
+	if !snapfmt.Sniff(data) {
+		var snap dbSnapshot
+		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+			return nil, fmt.Errorf("core: inspect: not a v4 container and not a gob snapshot: %w", err)
+		}
+		insp := &SnapshotInspection{
+			FormatVersion: snap.FormatVersion,
+			Events:        len(snap.Events),
+			Contracts:     len(snap.Contracts),
+			FileBytes:     int64(len(data)),
+		}
+		for _, cs := range snap.Contracts {
+			if len(cs.Projections.Parts) == 0 {
+				insp.Deferred++
+			}
+		}
+		return insp, nil
+	}
+	f, head, err := decodeV4Head(data)
+	if err != nil {
+		return nil, fmt.Errorf("core: inspect: %w", err)
+	}
+	insp := &SnapshotInspection{
+		Container:     true,
+		FormatVersion: head.FormatVersion,
+		Sharded:       head.Sharded,
+		Events:        len(head.Events),
+		Contracts:     len(head.Contracts),
+		FileBytes:     int64(len(data)),
+		HeadBytes:     int64(len(f.Head)),
+		SlabBytes:     f.SlabBytes(),
+	}
+	for _, s := range f.Sections {
+		insp.Sections = append(insp.Sections, SectionInfo{
+			Kind:  s.Kind,
+			Name:  V4SectionName(s.Kind),
+			Bytes: int64(s.Len),
+			CRC:   s.CRC,
+		})
+	}
+	cur, err := newV4Cursor(f)
+	if err != nil {
+		return nil, fmt.Errorf("core: inspect: %w", err)
+	}
+	for _, h := range head.Contracts {
+		before := cur.remainingBytes()
+		if err := cur.skipContract(h); err != nil {
+			return nil, fmt.Errorf("core: inspect: contract %q: %w", h.Name, err)
+		}
+		if h.Deferred {
+			insp.Deferred++
+		}
+		insp.PerContract = append(insp.PerContract, ContractFootprint{
+			Name:      h.Name,
+			Deferred:  h.Deferred,
+			SlabBytes: before - cur.remainingBytes(),
+		})
+	}
+	return insp, nil
+}

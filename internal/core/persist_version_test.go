@@ -19,7 +19,7 @@ func TestLoadVersionMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := db.Save(&buf); err != nil {
+	if err := db.SaveLegacy(&buf); err != nil {
 		t.Fatal(err)
 	}
 	// Decode to the snapshot struct, doctor the version, re-encode —

@@ -133,6 +133,15 @@ func WithAlgorithm(a Algorithm) Option { return func(c *Checker) { c.algo = a } 
 // cross-validation and for measuring what compilation buys.
 func WithInterpreted() Option { return func(c *Checker) { c.interpreted = true } }
 
+// WithSeeds installs a precomputed seed vector instead of running the
+// SCC analysis at construction. The snapshot load path uses it:
+// seeds were computed at registration and persisted, so adopting them
+// keeps load free of per-contract graph analysis (and of the Out
+// materialization the analysis would force on a shell automaton).
+// The vector is trusted the same way AdoptCompiled trusts the
+// persisted edge set; only its length is checked.
+func WithSeeds(seeds []bool) Option { return func(c *Checker) { c.seeds = seeds } }
+
 // NewChecker precomputes the seed states and the compiled form of the
 // contract automaton (registration-time work in the paper's
 // architecture).
@@ -140,14 +149,29 @@ func NewChecker(contract *buchi.BA, opts ...Option) *Checker {
 	c := &Checker{
 		contract: contract,
 		cc:       contract.Compiled(),
-		seeds:    contract.OnAcceptingCycle(),
 		useSeeds: true,
 	}
 	for _, o := range opts {
 		o(c)
 	}
+	if c.seeds == nil {
+		c.seeds = contract.OnAcceptingCycle()
+	} else if len(c.seeds) != c.cc.N {
+		// A wrong-length adopted vector would index out of range in the
+		// kernels; recompute rather than trust it.
+		c.seeds = contract.OnAcceptingCycle()
+	}
+	if c.interpreted {
+		// The interpreted kernels walk the pointer adjacency.
+		contract.EnsureEdges()
+	}
 	return c
 }
+
+// Seeds returns the checker's seed vector (contract states on a
+// final-containing cycle), for persistence. Callers must not mutate
+// the returned slice.
+func (c *Checker) Seeds() []bool { return c.seeds }
 
 // Contract returns the automaton the checker was built for.
 func (c *Checker) Contract() *buchi.BA { return c.contract }

@@ -61,3 +61,66 @@ func Import(s Snapshot) (*Index, error) {
 	}
 	return ix, nil
 }
+
+// ImportFlat reconstructs an index from the formatVersion-4 flat
+// layout: the node labels, the per-node word count, and one
+// concatenated posting array. The per-node word slices alias words
+// (with cap clamped to length, so a later registration that needs
+// more words reallocates to the heap instead of growing into the
+// neighbor's postings) — words may live in a snapshot mapping, which
+// must stay valid for the index's lifetime. Post-load insertions may
+// still set bits in existing words in place; a private (copy-on-write)
+// mapping absorbs those writes without touching the file.
+func ImportFlat(k, n int, labels []buchi.Label, lens []int32, words []uint64) (*Index, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("prefilter: snapshot has invalid depth %d", k)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("prefilter: snapshot has negative size %d", n)
+	}
+	if len(labels) != len(lens) {
+		return nil, fmt.Errorf("prefilter: %d node labels but %d node lengths", len(labels), len(lens))
+	}
+	ix := New(k)
+	ix.n = n
+	off := 0
+	for i, l := range labels {
+		w := int(lens[i])
+		if w < 0 || off+w > len(words) {
+			return nil, fmt.Errorf("prefilter: node %d claims %d words at offset %d of %d", i, w, off, len(words))
+		}
+		if _, dup := ix.nodes[l]; dup {
+			return nil, fmt.Errorf("prefilter: snapshot has duplicate node %v", l)
+		}
+		ix.nodes[l] = words[off : off+w : off+w]
+		off += w
+	}
+	if off != len(words) {
+		return nil, fmt.Errorf("prefilter: %d posting words stored, %d consumed", len(words), off)
+	}
+	return ix, nil
+}
+
+// ExportFlat captures the index in the flat layout consumed by
+// ImportFlat: labels sorted by (Pos, Neg), per-node word counts, and
+// the concatenated posting words. Nothing is copied beyond the
+// returned arrays themselves.
+func (ix *Index) ExportFlat() (labels []buchi.Label, lens []int32, words []uint64) {
+	labels = make([]buchi.Label, 0, len(ix.nodes))
+	for l := range ix.nodes {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool {
+		if labels[i].Pos != labels[j].Pos {
+			return labels[i].Pos < labels[j].Pos
+		}
+		return labels[i].Neg < labels[j].Neg
+	})
+	lens = make([]int32, len(labels))
+	for i, l := range labels {
+		node := ix.nodes[l]
+		lens[i] = int32(len(node))
+		words = append(words, node...)
+	}
+	return labels, lens, words
+}

@@ -95,6 +95,7 @@ func Prepare(a *buchi.BA, k int) Prepared {
 	if k <= 0 {
 		k = DefaultK
 	}
+	a.EnsureEdges() // shells: the walk below reads the adjacency
 	// Distinct expansions, not distinct labels: E(γ) collapses labels
 	// differing only in literals the contract leaves free.
 	expansions := make(map[buchi.Label]struct{})
@@ -102,6 +103,35 @@ func Prepare(a *buchi.BA, k int) Prepared {
 		for _, e := range out {
 			expansions[e.Label.Expand(a.Events)] = struct{}{}
 		}
+	}
+	touched := make(map[buchi.Label]struct{})
+	for exp := range expansions {
+		lits := literalsOf(exp)
+		forEachSubset(lits, k, func(l buchi.Label) {
+			touched[l] = struct{}{}
+		})
+	}
+	p := Prepared{touched: make([]buchi.Label, 0, len(touched))}
+	for l := range touched {
+		p.touched = append(p.touched, l)
+	}
+	return p
+}
+
+// PrepareCompiled is Prepare off the compiled CSR form: the label
+// table already holds exactly the distinct labels appearing on kept
+// edges, so the enumeration needs neither the pointer adjacency nor
+// an Out materialization. For a registered (normalized) automaton it
+// touches exactly the nodes Prepare would — the sharded load path
+// uses it to rebuild per-shard indexes from snapshot-adopted compiled
+// forms without waking any shell automaton.
+func PrepareCompiled(c *buchi.Compiled, k int) Prepared {
+	if k <= 0 {
+		k = DefaultK
+	}
+	expansions := make(map[buchi.Label]struct{}, len(c.Labels))
+	for _, l := range c.Labels {
+		expansions[l.Expand(c.Events)] = struct{}{}
 	}
 	touched := make(map[buchi.Label]struct{})
 	for exp := range expansions {

@@ -265,6 +265,18 @@ type RecoveryState struct {
 	WALReplayUS       int64 `json:"wal_replay_us"`
 	CompiledAdopted   int   `json:"compiled_adopted"`
 	DegradedLoaded    int   `json:"degraded_loaded,omitempty"`
+
+	// Load mechanics (formatVersion 4 containers): how the snapshot's
+	// slab bytes entered memory. MappedBytes counts slabs adopted
+	// zero-copy from a private file mapping (paged in on demand);
+	// CopiedBytes counts slabs materialized on the heap — the whole
+	// file for legacy gob snapshots, everything when the mapping
+	// fell back (MmapFallback says why), or just the int-width-
+	// converted sections on exotic hosts.
+	MappedBytes  int64  `json:"mapped_bytes"`
+	CopiedBytes  int64  `json:"copied_bytes"`
+	Sections     int    `json:"sections,omitempty"`
+	MmapFallback string `json:"mmap_fallback,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -776,6 +788,9 @@ func (s *Server) handlePrometheus(w http.ResponseWriter, _ *http.Request) {
 		p.Gauge("ctdb_cold_start_replayed_records", "WAL records replayed past the snapshot boundary.", float64(rec.ReplayedRecords))
 		p.Gauge("ctdb_cold_start_compiled_adopted", "Automata whose compiled form was restored from the snapshot (no re-flattening).", float64(rec.CompiledAdopted))
 		p.Gauge("ctdb_cold_start_snapshot_format", "Per-contract snapshot format version loaded at start.", float64(rec.SnapshotFormat))
+		p.Gauge("ctdb_cold_start_mapped_bytes", "Snapshot slab bytes adopted zero-copy from the file mapping.", float64(rec.MappedBytes))
+		p.Gauge("ctdb_cold_start_copied_bytes", "Snapshot bytes materialized on the heap during load.", float64(rec.CopiedBytes))
+		p.Gauge("ctdb_cold_start_sections", "Sections in the loaded v4 snapshot container.", float64(rec.Sections))
 	}
 	p.WriteQuery(st.Queries)
 	if sh, ok := s.db.(sharder); ok {

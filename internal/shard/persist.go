@@ -22,7 +22,16 @@ import (
 // backbone of the differential harness and it means re-sharding a
 // deployment is a restart, not a migration.
 
-// shardSnapshot is the persisted form of a sharded database.
+// formatVersion 4 keeps the count-agnostic property with a different
+// carrier: one snapfmt container holding every shard's contracts in
+// name order, with Sharded=true in its head and no prefilter
+// sections (per-shard indexes depend on the shard count and are
+// rebuilt from the adopted compiled forms at load). The v1 gob
+// wrapper below remains readable, as do unsharded snapshots of every
+// supported version.
+
+// shardSnapshot is the legacy (gob) persisted form of a sharded
+// database.
 type shardSnapshot struct {
 	// ShardFormat versions this wrapper. It also discriminates the
 	// container: a legacy core snapshot decodes into this struct (gob
@@ -36,11 +45,20 @@ type shardSnapshot struct {
 
 const shardFormatVersion = 1
 
-// Save writes the database to w in gob format. The bytes depend only
-// on the registered contracts, the vocabulary and the options — not on
-// the shard count — so equivalent databases with different shard
-// counts serialize identically.
+// Save writes the database to w as a sharded v4 container. The bytes
+// depend only on the registered contracts, the vocabulary and the
+// options — not on the shard count — so equivalent databases with
+// different shard counts serialize identically.
 func (db *DB) Save(w io.Writer) error {
+	if err := core.SaveSharded(w, db.voc.Names(), db.options(), db.shards); err != nil {
+		return fmt.Errorf("shard: save: %w", err)
+	}
+	return nil
+}
+
+// SaveLegacy writes the v1 gob wrapper (name-sorted registration
+// records) older builds read.
+func (db *DB) SaveLegacy(w io.Writer) error {
 	var records []core.RegistrationExport
 	for _, sh := range db.shards {
 		recs, err := sh.ExportRegistrations()
@@ -77,10 +95,21 @@ func Load(r io.Reader, n int) (*DB, error) {
 // breakdown (wrapper decode vs. per-record artifact restore) summed
 // across shards.
 func LoadWithStats(r io.Reader, n int) (*DB, core.LoadStats, error) {
-	var stats core.LoadStats
 	buf, err := io.ReadAll(r)
 	if err != nil {
-		return nil, stats, fmt.Errorf("shard: load: %w", err)
+		return nil, core.LoadStats{}, fmt.Errorf("shard: load: %w", err)
+	}
+	return LoadBytesWithStats(buf, n)
+}
+
+// LoadBytesWithStats loads from an in-memory snapshot image. For v4
+// containers the image's slabs are adopted zero-copy, so buf must
+// outlive the database (a private file mapping qualifies; the store
+// owns that lifetime).
+func LoadBytesWithStats(buf []byte, n int) (*DB, core.LoadStats, error) {
+	var stats core.LoadStats
+	if core.IsContainer(buf) {
+		return loadContainer(buf, n)
 	}
 	t := time.Now()
 	var snap shardSnapshot
@@ -130,6 +159,46 @@ func LoadWithStats(r io.Reader, n int) (*DB, core.LoadStats, error) {
 	stats.Restore += time.Since(t)
 	if stats.FormatVersion == 0 {
 		stats.FormatVersion = core.SnapshotFormatVersion()
+	}
+	return db, stats, nil
+}
+
+// loadContainer routes a v4 container: a sharded head deals its
+// contracts across n fresh shards via the placement function; an
+// unsharded head loads as a core database and is redistributed. The
+// buffer's slabs are adopted zero-copy either way, so buf must stay
+// valid for the database's lifetime (the store owns that when buf is
+// a file mapping).
+func loadContainer(buf []byte, n int) (*DB, core.LoadStats, error) {
+	var stats core.LoadStats
+	info, err := core.PeekV4(buf)
+	if err != nil {
+		return nil, stats, fmt.Errorf("shard: load: %w", err)
+	}
+	if !info.Sharded {
+		cdb, cstats, cerr := core.LoadBytesWithStats(buf)
+		stats = cstats
+		if cerr != nil {
+			return nil, stats, fmt.Errorf("shard: load: %w", cerr)
+		}
+		t := time.Now()
+		db, err := FromCore(cdb, n)
+		stats.Restore += time.Since(t)
+		if err != nil {
+			return nil, stats, err
+		}
+		return db, stats, nil
+	}
+	voc, err := vocab.FromNames(info.Events...)
+	if err != nil {
+		return nil, stats, fmt.Errorf("shard: load: %w", err)
+	}
+	db, err := New(voc, info.Opts, n)
+	if err != nil {
+		return nil, stats, fmt.Errorf("shard: load: %w", err)
+	}
+	if err := core.LoadShardedV4(buf, func(name string) *core.DB { return db.shardFor(name) }, &stats); err != nil {
+		return nil, stats, fmt.Errorf("shard: load: %w", err)
 	}
 	return db, stats, nil
 }

@@ -1,0 +1,101 @@
+package snapfmt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"unsafe"
+)
+
+// hostLE reports whether the host stores multi-byte integers
+// little-endian. On such hosts a little-endian slab can be viewed in
+// place via unsafe.Slice; otherwise slabs are decoded element-wise
+// into fresh heap memory.
+var hostLE = func() bool {
+	var probe uint16 = 1
+	return *(*byte)(unsafe.Pointer(&probe)) == 1
+}()
+
+// HostZeroCopy reports whether ViewSlice can alias slabs on this
+// host. False forces the copy fallback everywhere (big-endian hosts).
+func HostZeroCopy() bool { return hostLE }
+
+// slabElem constrains the element types that may cross the slab
+// boundary: fixed-size types whose in-memory layout on a
+// little-endian host equals their little-endian wire encoding.
+// (Structs of such fields also qualify but need their own wrappers;
+// the snapshot layer handles those explicitly.)
+type slabElem interface {
+	~int32 | ~int64 | ~uint32 | ~uint64 | ~byte
+}
+
+// ViewSlice reinterprets a little-endian slab as a []T without
+// copying. The returned slice aliases b — the caller owns keeping the
+// backing memory alive — and has cap == len so appends reallocate to
+// the heap instead of scribbling past the slab. On hosts where
+// zero-copy is impossible (big-endian) it decodes into fresh memory
+// instead; callers needing to distinguish check HostZeroCopy.
+func ViewSlice[T slabElem](b []byte) ([]T, error) {
+	var zero T
+	size := int(unsafe.Sizeof(zero))
+	if len(b)%size != 0 {
+		return nil, fmt.Errorf("%w: %d bytes is not a whole number of %d-byte elements", ErrSectionRange, len(b), size)
+	}
+	if !hostLE {
+		return CopySlice[T](b)
+	}
+	n := len(b) / size
+	if n == 0 {
+		return nil, nil
+	}
+	if uintptr(unsafe.Pointer(unsafe.SliceData(b)))%uintptr(size) != 0 {
+		return nil, fmt.Errorf("%w: slab base not aligned for %d-byte elements", ErrMisaligned, size)
+	}
+	s := unsafe.Slice((*T)(unsafe.Pointer(unsafe.SliceData(b))), n)
+	return s[:n:n], nil
+}
+
+// CopySlice decodes a little-endian slab into freshly allocated
+// memory, independent of host byte order. It is the portable twin of
+// ViewSlice and the path taken when mmap is off.
+func CopySlice[T slabElem](b []byte) ([]T, error) {
+	var zero T
+	size := int(unsafe.Sizeof(zero))
+	if len(b)%size != 0 {
+		return nil, fmt.Errorf("%w: %d bytes is not a whole number of %d-byte elements", ErrSectionRange, len(b), size)
+	}
+	out := make([]T, len(b)/size)
+	for i := range out {
+		switch size {
+		case 1:
+			out[i] = T(b[i])
+		case 4:
+			out[i] = T(binary.LittleEndian.Uint32(b[i*4:]))
+		case 8:
+			out[i] = T(binary.LittleEndian.Uint64(b[i*8:]))
+		}
+	}
+	return out, nil
+}
+
+// AppendSlice appends the little-endian encoding of s to dst. It is
+// the inverse of ViewSlice/CopySlice and produces identical bytes on
+// every host.
+func AppendSlice[T slabElem](dst []byte, s []T) []byte {
+	var zero T
+	size := int(unsafe.Sizeof(zero))
+	if hostLE && len(s) > 0 {
+		raw := unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(s))), len(s)*size)
+		return append(dst, raw...)
+	}
+	for _, v := range s {
+		switch size {
+		case 1:
+			dst = append(dst, byte(v))
+		case 4:
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(v))
+		case 8:
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+		}
+	}
+	return dst
+}

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package store
+
+import (
+	"errors"
+	"os"
+)
+
+const mmapSupported = false
+
+func mmapPrivate(_ *os.File, _ int) ([]byte, error) {
+	return nil, errors.New("mmap unsupported on this platform")
+}
+
+func munmap(_ []byte) error { return nil }

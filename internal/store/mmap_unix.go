@@ -1,0 +1,20 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+const mmapSupported = true
+
+// mmapPrivate maps the file copy-on-write: PROT_WRITE + MAP_PRIVATE
+// lets the prefilter index set posting bits in place after load
+// (post-snapshot registrations) with the dirtied pages backed by
+// anonymous memory, never written to the snapshot file.
+func mmapPrivate(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_PRIVATE)
+}
+
+func munmap(b []byte) error { return syscall.Munmap(b) }

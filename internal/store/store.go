@@ -34,7 +34,6 @@
 package store
 
 import (
-	"bytes"
 	"context"
 	"fmt"
 	"io"
@@ -119,6 +118,12 @@ type Config struct {
 	// is pruned against the oldest retained one). Zero selects
 	// DefaultKeepSnapshots.
 	KeepSnapshots int
+	// NoMmap disables memory-mapping v4 snapshot containers at Open;
+	// the file is read into the heap instead (the slabs are still
+	// adopted zero-copy from that buffer). Mapping is also skipped
+	// automatically on platforms without mmap and for legacy gob
+	// snapshots; RecoveryInfo.MmapFallback records why.
+	NoMmap bool
 	// Metrics receives durability counters; a fresh registry is created
 	// when nil.
 	Metrics *metrics.Durability
@@ -168,11 +173,25 @@ type RecoveryInfo struct {
 	// /v1/health surface these): where the recovery time went, and how
 	// much re-derivation the persisted artifacts avoided.
 	SnapshotFormat  int           // per-contract format version loaded (0 = started empty)
-	SnapshotDecode  time.Duration // gob wire decode of the snapshot
+	SnapshotDecode  time.Duration // snapshot wire decode (gob, or v4 container parse + view setup)
 	ArtifactRestore time.Duration // validation + artifact adoption + index/projection rebuild
 	WALReplay       time.Duration // replaying the log suffix
 	CompiledAdopted int           // automata whose CSR form came from disk (no flattening)
 	DegradedLoaded  int           // contracts restored at the degraded tier and re-pended
+
+	// Load mechanics of the snapshot bytes (formatVersion 4): how the
+	// slabs entered memory. MappedBytes is the file mapping adopted
+	// in place (0 when the file was read into the heap); CopiedBytes
+	// is slab bytes element-wise copied instead of viewed (0 on
+	// little-endian hosts); Sections is the container's directory
+	// size. MmapFallback names the reason mapping was not used
+	// ("disabled", "unsupported-platform", "legacy-gob-snapshot",
+	// "empty-file", or "mmap-failed: ..."; empty when mapped or when
+	// no snapshot was loaded).
+	MappedBytes  int64
+	CopiedBytes  int64
+	Sections     int
+	MmapFallback string
 }
 
 // Store is an open durable contract database. All methods are safe
@@ -185,6 +204,12 @@ type Store struct {
 	sdb *shard.DB
 	log *wal.Log
 	met *metrics.Durability
+
+	// mapping is the snapshot file mapping the database's slabs alias
+	// (nil when the snapshot was read into the heap or absent). The
+	// store owns its lifetime: it stays valid until Close, which
+	// releases it after the final checkpoint.
+	mapping []byte
 
 	// Recovery describes what Open did; read-only afterwards.
 	Recovery RecoveryInfo
@@ -232,6 +257,47 @@ func listSnapshots(dir string) ([]snapshotFile, error) {
 	return out, nil
 }
 
+// readSnapshotFile brings a snapshot's bytes into memory, preferring
+// a private mapping for v4 containers: the loader adopts the slabs in
+// place, so a mapped cold start pages data in on demand instead of
+// decoding it up front. mapped reports whether data is a mapping the
+// caller must eventually munmap; fallback names the reason it is not.
+func readSnapshotFile(path string, noMmap bool) (data []byte, mapped bool, fallback string, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, "", err
+	}
+	defer f.Close()
+	var magic [8]byte
+	n, _ := io.ReadFull(f, magic[:])
+	if !core.IsContainer(magic[:n]) {
+		data, err := os.ReadFile(path)
+		return data, false, "legacy-gob-snapshot", err
+	}
+	readHeap := func(reason string) ([]byte, bool, string, error) {
+		data, err := os.ReadFile(path)
+		return data, false, reason, err
+	}
+	if noMmap {
+		return readHeap("disabled")
+	}
+	if !mmapSupported {
+		return readHeap("unsupported-platform")
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return nil, false, "", err
+	}
+	if st.Size() == 0 || st.Size() > int64(int(^uint(0)>>1)) {
+		return readHeap("empty-file")
+	}
+	b, merr := mmapPrivate(f, int(st.Size()))
+	if merr != nil {
+		return readHeap("mmap-failed: " + merr.Error())
+	}
+	return b, true, "", nil
+}
+
 // Open recovers (or creates) the store in dir and returns it ready to
 // serve. The returned store has installed itself as the database's
 // OpLog, so every mutation on DB() is durably logged before it
@@ -266,9 +332,10 @@ func Open(dir string, cfg Config) (*Store, error) {
 	sharded := cfg.Shards > 1
 	loaded := false
 	boundary := uint64(1)
+	var mapping []byte // live snapshot mapping; munmapped at Close
 	_, lsp := trace.StartSpan(rctx, "load_snapshot")
 	for _, sn := range snaps {
-		data, err := os.ReadFile(sn.path)
+		data, mapped, fallback, err := readSnapshotFile(sn.path, cfg.NoMmap)
 		if err != nil {
 			info.SkippedSnapshots = append(info.SkippedSnapshots, sn.path)
 			continue
@@ -280,11 +347,11 @@ func Open(dir string, cfg Config) (*Store, error) {
 		// sharded engine at count 1, which serves identically.
 		var lstats core.LoadStats
 		if sharded {
-			sdb, lstats, err = shard.LoadWithStats(bytes.NewReader(data), cfg.Shards)
+			sdb, lstats, err = shard.LoadBytesWithStats(data, cfg.Shards)
 		} else {
-			cdb, lstats, err = core.LoadWithStats(bytes.NewReader(data))
+			cdb, lstats, err = core.LoadBytesWithStats(data)
 			if err != nil {
-				if s1, sstats, serr := shard.LoadWithStats(bytes.NewReader(data), 1); serr == nil {
+				if s1, sstats, serr := shard.LoadBytesWithStats(data, 1); serr == nil {
 					sdb, lstats, err = s1, sstats, nil
 					if cfg.Logf != nil {
 						cfg.Logf("store: %s is a sharded snapshot; serving it through a 1-shard engine", sn.path)
@@ -293,6 +360,9 @@ func Open(dir string, cfg Config) (*Store, error) {
 			}
 		}
 		if err != nil {
+			if mapped {
+				munmap(data)
+			}
 			if cfg.Logf != nil {
 				cfg.Logf("store: skipping snapshot %s: %v", sn.path, err)
 			}
@@ -302,6 +372,10 @@ func Open(dir string, cfg Config) (*Store, error) {
 		}
 		loaded = true
 		boundary = sn.boundary
+		if mapped {
+			mapping = data
+			info.MappedBytes = int64(len(data))
+		}
 		info.SnapshotSeq = sn.boundary
 		info.SnapshotPath = sn.path
 		info.SnapshotFormat = lstats.FormatVersion
@@ -309,6 +383,15 @@ func Open(dir string, cfg Config) (*Store, error) {
 		info.ArtifactRestore = lstats.Restore
 		info.CompiledAdopted = lstats.CompiledAdopted
 		info.DegradedLoaded = lstats.Degraded
+		info.CopiedBytes = lstats.CopiedBytes
+		info.Sections = lstats.Sections
+		info.MmapFallback = fallback
+		if !mapped && info.CopiedBytes < int64(len(data)) {
+			// Nothing mapped, so every byte of the file reached the heap
+			// — by ReadFile for a v4 container (the adopted slabs alias
+			// that buffer), or through the gob decoder for legacy.
+			info.CopiedBytes = int64(len(data))
+		}
 		break
 	}
 	if lsp != nil {
@@ -357,6 +440,9 @@ func Open(dir string, cfg Config) (*Store, error) {
 	osp.SetError(err)
 	if err != nil {
 		osp.End()
+		if mapping != nil {
+			munmap(mapping)
+		}
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	if osp != nil {
@@ -368,6 +454,9 @@ func Open(dir string, cfg Config) (*Store, error) {
 	defer func() {
 		if !ok {
 			w.Close()
+			if mapping != nil {
+				munmap(mapping)
+			}
 		}
 	}()
 	info.TruncatedBytes = w.TruncatedBytes
@@ -425,6 +514,7 @@ func Open(dir string, cfg Config) (*Store, error) {
 		sdb:          sdb,
 		log:          w,
 		met:          met,
+		mapping:      mapping,
 		Recovery:     info,
 		lastBoundary: boundary,
 		ckptC:        make(chan struct{}, 1),
@@ -645,8 +735,12 @@ func (s *Store) prune() error {
 }
 
 // Close checkpoints any unsnapshotted suffix, flushes and closes the
-// WAL, and stops the background work. The database stays queryable in
-// memory, but further mutations fail (the log refuses appends).
+// WAL, stops the background work, and releases the snapshot mapping
+// if the database was loaded from one. When recovery read the
+// snapshot into the heap (legacy gob, -mmap off) the database stays
+// queryable in memory afterwards; when it was memory-mapped
+// (Recovery.MappedBytes > 0) its artifacts alias the released
+// mapping, so the database must not be used after Close.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -664,11 +758,17 @@ func (s *Store) Close() error {
 	s.ckptMu.Unlock()
 
 	// The final checkpoint drained the pipeline; now stop its workers.
-	// The database stays queryable (and registrable, synchronously) in
-	// memory.
 	s.db.Close()
 
 	werr := s.log.Close()
+	// Last: the final checkpoint above read the mapped slabs while
+	// re-saving, so the mapping must outlive it.
+	if s.mapping != nil {
+		if merr := munmap(s.mapping); merr != nil && werr == nil && cerr == nil {
+			cerr = fmt.Errorf("store: unmap snapshot: %w", merr)
+		}
+		s.mapping = nil
+	}
 	if cerr != nil {
 		return cerr
 	}
