@@ -15,6 +15,13 @@
 // query cost).
 // Allocation counts are deterministic across machines (unlike ns/op),
 // which is what makes them enforceable in CI.
+//
+// The -compare mode diffs two committed reports without running
+// anything, printing per-series deltas — ns/op and allocs/op per
+// bench, plus the cold-start, registration-rate and stream-ingest
+// wall-clock series:
+//
+//	go run ./cmd/benchjson -compare BENCH_PR4.json BENCH_PR7.json
 package main
 
 import (
@@ -61,7 +68,20 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional allocs/op growth over -baseline")
 	filter := flag.String("bench", "", "only run benchmarks whose name contains this substring")
 	series := flag.Bool("series", true, "also run the cold-start and registration-rate wall-clock series")
+	compare := flag.Bool("compare", false, "diff two committed reports (old.json new.json) instead of running benchmarks")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two report files: old.json new.json")
+			os.Exit(2)
+		}
+		if err := compareReports(flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	type bench struct {
 		name string
@@ -213,6 +233,122 @@ func checkBaseline(cur report, path string, tol float64) error {
 	}
 	if checked == 0 {
 		return fmt.Errorf("no Fig5Optimized/Fig5Sharded benches matched %s; baseline check is vacuous", path)
+	}
+	return nil
+}
+
+// compareReports prints per-series deltas between two committed
+// reports: each bench's ns/op and allocs/op change, then the
+// wall-clock series. Benches present in only one report are listed so
+// a rename or removal never passes silently.
+func compareReports(oldPath, newPath string) error {
+	load := func(path string) (report, error) {
+		var r report
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return r, err
+		}
+		if err := json.Unmarshal(data, &r); err != nil {
+			return r, fmt.Errorf("parsing %s: %w", path, err)
+		}
+		return r, nil
+	}
+	old, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	cur, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("benchjson compare: %s (%s) -> %s (%s)\n\n",
+		oldPath, old.GoVersion, newPath, cur.GoVersion)
+
+	pct := func(oldV, newV float64) string {
+		if oldV == 0 {
+			if newV == 0 {
+				return "   ±0.0%"
+			}
+			return "     new"
+		}
+		return fmt.Sprintf("%+7.1f%%", (newV-oldV)/oldV*100)
+	}
+
+	oldBy := make(map[string]result, len(old.Results))
+	for _, r := range old.Results {
+		oldBy[r.Name] = r
+	}
+	fmt.Printf("%-40s %12s %12s %8s   %8s %8s %8s\n",
+		"bench", "old ns/op", "new ns/op", "delta", "old al/op", "new", "delta")
+	seen := make(map[string]bool, len(cur.Results))
+	for _, r := range cur.Results {
+		seen[r.Name] = true
+		o, ok := oldBy[r.Name]
+		if !ok {
+			fmt.Printf("%-40s %12s %12.0f %8s   %8s %8d %8s\n",
+				r.Name, "-", r.NsPerOp, "new", "-", r.AllocsPerOp, "new")
+			continue
+		}
+		fmt.Printf("%-40s %12.0f %12.0f %8s   %8d %8d %8s\n",
+			r.Name, o.NsPerOp, r.NsPerOp, pct(o.NsPerOp, r.NsPerOp),
+			o.AllocsPerOp, r.AllocsPerOp, pct(float64(o.AllocsPerOp), float64(r.AllocsPerOp)))
+	}
+	for _, r := range old.Results {
+		if !seen[r.Name] {
+			fmt.Printf("%-40s %12.0f %12s %8s\n", r.Name, r.NsPerOp, "-", "gone")
+		}
+	}
+
+	// The wall-clock series match on their parameter tuples.
+	if len(old.ColdStart) > 0 || len(cur.ColdStart) > 0 {
+		oldCS := make(map[int]benchkit.ColdStartPoint, len(old.ColdStart))
+		for _, p := range old.ColdStart {
+			oldCS[p.Contracts] = p
+		}
+		fmt.Println()
+		for _, p := range cur.ColdStart {
+			o, ok := oldCS[p.Contracts]
+			if !ok {
+				fmt.Printf("ColdStart/contracts=%-5d load %7.1f ms (new point)\n", p.Contracts, p.LoadMS)
+				continue
+			}
+			fmt.Printf("ColdStart/contracts=%-5d load %7.1f -> %7.1f ms %s   snapshot %d -> %d bytes\n",
+				p.Contracts, o.LoadMS, p.LoadMS, pct(o.LoadMS, p.LoadMS), o.SnapshotBytes, p.SnapshotBytes)
+		}
+	}
+	if len(old.RegisterRate) > 0 || len(cur.RegisterRate) > 0 {
+		oldRR := make(map[int]benchkit.RegisterRatePoint, len(old.RegisterRate))
+		for _, p := range old.RegisterRate {
+			oldRR[p.IngestWorkers] = p
+		}
+		fmt.Println()
+		for _, p := range cur.RegisterRate {
+			o, ok := oldRR[p.IngestWorkers]
+			if !ok {
+				fmt.Printf("RegisterRate/workers=%-3d %8.1f reg/s (new point)\n", p.IngestWorkers, p.AcceptPerSec)
+				continue
+			}
+			fmt.Printf("RegisterRate/workers=%-3d %8.1f -> %8.1f reg/s %s\n",
+				p.IngestWorkers, o.AcceptPerSec, p.AcceptPerSec, pct(o.AcceptPerSec, p.AcceptPerSec))
+		}
+	}
+	if len(old.StreamIngest) > 0 || len(cur.StreamIngest) > 0 {
+		type key struct{ streams, shards int }
+		oldSI := make(map[key]benchkit.StreamIngestPoint, len(old.StreamIngest))
+		for _, p := range old.StreamIngest {
+			oldSI[key{p.Streams, p.Shards}] = p
+		}
+		fmt.Println()
+		for _, p := range cur.StreamIngest {
+			o, ok := oldSI[key{p.Streams, p.Shards}]
+			if !ok {
+				fmt.Printf("StreamIngest/streams=%-6d shards=%d %10.0f events/s/core (new point)\n",
+					p.Streams, p.Shards, p.EventsPerSecCore)
+				continue
+			}
+			fmt.Printf("StreamIngest/streams=%-6d shards=%d %10.0f -> %10.0f events/s/core %s\n",
+				p.Streams, p.Shards, o.EventsPerSecCore, p.EventsPerSecCore, pct(o.EventsPerSecCore, p.EventsPerSecCore))
+		}
 	}
 	return nil
 }

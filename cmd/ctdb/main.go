@@ -9,6 +9,8 @@
 //	ctdb show   -db FILE [-name N]            list contracts / dump one automaton
 //	ctdb stats  -db FILE                      database and index statistics
 //	ctdb monitor -addr URL -stream N          tail a live stream's verdicts
+//	ctdb top    -addr URL                     live view of the query insights log
+//	ctdb debug bundle -addr URL               download a diagnostics tarball
 //
 // Example session:
 //
@@ -62,6 +64,10 @@ func main() {
 		err = cmdExplain(args)
 	case "monitor":
 		err = cmdMonitor(args)
+	case "top":
+		err = cmdTop(args)
+	case "debug":
+		err = cmdDebug(args)
 	case "snapshot":
 		err = cmdSnapshot(args)
 	case "help", "-h", "--help":
@@ -97,6 +103,12 @@ commands:
   explain -db FILE -name NAME -spec LTL show a witness run for a permitted query
   monitor -addr URL -stream NAME [-contracts A,B] [-after N] [-follow]
                                         tail a live stream's verdicts from ctdbd
+  top    -addr URL [-n N] [-interval D] [-once]
+                                        live view of the daemon's query insights
+                                        log (needs ctdbd -querylog-sample)
+  debug bundle -addr URL [-o FILE] [-cpu D]
+                                        download a one-shot diagnostics tarball
+                                        (metrics, traces, query log, profiles)
   snapshot inspect [-contracts] [-top N] FILE|DATA-DIR
                                         print a snapshot's section directory
                                         (v4) or version and counts (legacy gob)`)

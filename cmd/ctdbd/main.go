@@ -59,6 +59,7 @@ import (
 	"time"
 
 	"contractdb/internal/core"
+	"contractdb/internal/insights"
 	"contractdb/internal/metrics"
 	"contractdb/internal/server"
 	"contractdb/internal/store"
@@ -76,6 +77,7 @@ type engine interface {
 	SetParallelism(n int)
 	SetCacheSizes(queryCache, resultCache int)
 	SetIngestWorkers(n int)
+	SetTracer(t *trace.Tracer)
 }
 
 func main() {
@@ -101,6 +103,11 @@ func main() {
 	traceBuffer := flag.Int("trace-buffer", trace.DefaultBufferSize, "recent query-trace ring capacity (negative disables retention)")
 	traceSample := flag.Int("trace-sample", 0, "trace every Nth query into the ring (0 = only explicitly requested traces)")
 	slowQuery := flag.Duration("slow-query", 0, "trace every query and log + retain those at least this slow (0 = disabled)")
+	traceExport := flag.String("trace-export", "", "append finished traces as OTLP/JSON lines to this file (empty = disabled)")
+	traceExportURL := flag.String("trace-export-url", "", "POST finished traces as OTLP/JSON to this endpoint, best-effort (empty = disabled)")
+	querylogSample := flag.Int("querylog-sample", 0, "record every Nth query in the insights log (1 = all, 0 = disabled; slow and failed queries are always recorded while enabled)")
+	querylogBuffer := flag.Int("querylog-buffer", 0, "insights-log ring capacity (0 = default)")
+	querylogSlow := flag.Duration("querylog-slow", 0, "always record queries at least this slow in the insights log (0 = inherit -slow-query)")
 	logFormat := flag.String("log-format", "text", "request/slow-query log format: text | json")
 	flag.Parse()
 
@@ -114,7 +121,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ctdbd: %v\n", err)
 		os.Exit(2)
 	}
-	tracer := trace.New(trace.Config{
+	traceCfg := trace.Config{
 		BufferSize:    *traceBuffer,
 		SampleEvery:   *traceSample,
 		SlowThreshold: *slowQuery,
@@ -126,7 +133,30 @@ func main() {
 				"duration_us", tr.DurUS,
 			)
 		},
-	})
+	}
+	var closeExporter func()
+	switch {
+	case *traceExport != "" && *traceExportURL != "":
+		fmt.Fprintln(os.Stderr, "ctdbd: at most one of -trace-export and -trace-export-url")
+		os.Exit(2)
+	case *traceExport != "":
+		f, err := os.OpenFile(*traceExport, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("ctdbd: -trace-export: %v", err)
+		}
+		traceCfg.Exporter = trace.NewFileExporter(f).Export
+		closeExporter = func() { f.Close() }
+	case *traceExportURL != "":
+		exp := trace.NewHTTPExporter(*traceExportURL)
+		traceCfg.Exporter = exp.Export
+		closeExporter = func() {
+			exp.Close()
+			if n := exp.Dropped(); n > 0 {
+				log.Printf("ctdbd: trace export dropped %d traces under backpressure", n)
+			}
+		}
+	}
+	tracer := trace.New(traceCfg)
 
 	var (
 		db      engine
@@ -175,12 +205,37 @@ func main() {
 	if *queryCacheSize != 0 || *resultCacheSize != 0 {
 		db.SetCacheSizes(*queryCacheSize, *resultCacheSize)
 	}
+	// The engine shares the daemon's tracer so asynchronous ingest
+	// promotions appear as linked stages under the originating
+	// request's trace ID.
+	db.SetTracer(tracer)
+
+	var querylog *insights.Log
+	if *querylogSample > 0 {
+		cfg := insights.Config{
+			BufferSize:    *querylogBuffer,
+			SampleEvery:   *querylogSample,
+			SlowThreshold: *querylogSlow,
+		}
+		if cfg.SlowThreshold == 0 {
+			cfg.SlowThreshold = *slowQuery
+		}
+		if *dataDir != "" {
+			cfg.Dir = filepath.Join(*dataDir, "querylog")
+		}
+		querylog, err = insights.Open(cfg)
+		if err != nil {
+			log.Fatalf("ctdbd: querylog: %v", err)
+		}
+	}
+
 	srv := server.New(db)
 	srv.Persist = persist
 	srv.QueryTimeout = *queryTimeout
 	srv.StepBudget = *stepBudget
 	srv.Tracer = tracer
 	srv.Logger = logger
+	srv.Insights = querylog
 	if st != nil {
 		srv.Checkpoint = st.Checkpoint
 		srv.Durability = st.Metrics()
@@ -269,6 +324,14 @@ func main() {
 		if err := st.Close(); err != nil {
 			log.Fatalf("ctdbd: closing store: %v", err)
 		}
+	}
+	if querylog != nil {
+		if err := querylog.Close(); err != nil {
+			log.Printf("ctdbd: closing querylog: %v", err)
+		}
+	}
+	if closeExporter != nil {
+		closeExporter()
 	}
 	log.Printf("ctdbd: clean shutdown")
 }

@@ -18,10 +18,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"contractdb/internal/bisim"
@@ -32,6 +34,7 @@ import (
 	"contractdb/internal/permission"
 	"contractdb/internal/prefilter"
 	"contractdb/internal/qcache"
+	"contractdb/internal/trace"
 	"contractdb/internal/vocab"
 )
 
@@ -330,6 +333,11 @@ type DB struct {
 	// completes degraded registrations (see Options.IngestWorkers).
 	ingest *ingestPipeline
 
+	// tracer, when set, records linked "promote" traces for background
+	// promotions whose originating registration was traced
+	// (SetTracer). Atomic: promotions read it without db.mu.
+	tracer atomic.Pointer[trace.Tracer]
+
 	// registration-time cost accounting for the §7.4 measurements
 	registerTime   time.Duration
 	projectionTime time.Duration
@@ -486,6 +494,16 @@ func (db *DB) ByName(name string) (*Contract, bool) {
 // queue is bounded, so sustained over-rate registration backpressures
 // here instead of growing without limit.
 func (db *DB) Register(name string, spec *ltl.Expr) (*Contract, error) {
+	return db.RegisterCtx(nil, name, spec)
+}
+
+// RegisterCtx is Register under a context. The context carries trace
+// identity, not cancellation: when the registering request is traced,
+// the span context is captured here and the background promotion
+// records a linked "promote" trace under the same trace ID, so the
+// full registration story — synchronous accept plus asynchronous
+// precompute — reads as one tree from GET /v1/traces/{id}.
+func (db *DB) RegisterCtx(ctx context.Context, name string, spec *ltl.Expr) (*Contract, error) {
 	start := time.Now()
 	// Claim the name first (minting a generated one consumes the
 	// counter even if translation then fails — the sharded router's
@@ -553,9 +571,15 @@ func (db *DB) Register(name string, spec *ltl.Expr) (*Contract, error) {
 	db.mu.Unlock()
 
 	if pipeline != nil {
-		pipeline.enqueue(c)
+		pipeline.enqueueLinked(c, trace.SpanContextFrom(ctx))
 	}
 	return c, nil
+}
+
+// SetTracer wires the tracer that records linked traces for background
+// promotions. Safe to call at any time; nil disables.
+func (db *DB) SetTracer(t *trace.Tracer) {
+	db.tracer.Store(t)
 }
 
 // nextAutoName mints an unused generated name. Callers hold the write
@@ -662,11 +686,17 @@ func (db *DB) effectiveBudget(auto *buchi.BA) int {
 
 // RegisterLTL parses src and registers it.
 func (db *DB) RegisterLTL(name, src string) (*Contract, error) {
+	return db.RegisterLTLCtx(nil, name, src)
+}
+
+// RegisterLTLCtx parses src and registers it under a context; see
+// RegisterCtx for what the context carries.
+func (db *DB) RegisterLTLCtx(ctx context.Context, name, src string) (*Contract, error) {
 	spec, err := ltl.Parse(src)
 	if err != nil {
 		return nil, fmt.Errorf("core: contract %q: %w", name, err)
 	}
-	return db.Register(name, spec)
+	return db.RegisterCtx(ctx, name, spec)
 }
 
 // QueryStats describes the work one query evaluation performed.
@@ -691,6 +721,26 @@ type QueryStats struct {
 	// evaluation; the durations and per-check counters are zero
 	// because no translation or scan ran.
 	CacheHit bool
+	// CompileHit reports the canonical compile cache (tier 1) served
+	// the query automaton, so no LTL→BA translation ran. Implied by
+	// CacheHit; meaningful on its own when the scan still had to run.
+	CompileHit bool
+
+	// Shards, on results from the sharded router, is the per-probe
+	// cost breakdown in shard order (absent on single-shard engines
+	// and for probes canceled by a FindAny early exit). The insights
+	// log surfaces it as the per-shard latency/step accounting.
+	Shards []ShardProbeStat
+}
+
+// ShardProbeStat is one shard's share of a scatter-gather query.
+type ShardProbeStat struct {
+	Shard      int           // shard index
+	Dur        time.Duration // the probe's wall clock
+	Candidates int           // survived the shard's prefilter
+	Checked    int           // kernel checks executed
+	Steps      int64         // product-automaton steps spent
+	Cached     bool          // served from the shard's result cache
 }
 
 // Elapsed returns the query's total evaluation time, the quantity the
@@ -746,8 +796,11 @@ type RegistrationStats struct {
 	// when registration is synchronous). Promotions counts completed
 	// degraded→full transitions.
 	PendingIngest int
-	IngestWorkers int
-	Promotions    int64
+	// PendingHighWater is the largest PendingIngest ever observed —
+	// the pipeline's backpressure high-watermark.
+	PendingHighWater int
+	IngestWorkers    int
+	Promotions       int64
 }
 
 // RegistrationStats returns the database's offline-cost counters.
@@ -766,6 +819,7 @@ func (db *DB) RegistrationStats() RegistrationStats {
 	}
 	if db.ingest != nil {
 		rs.PendingIngest = db.ingest.pendingCount()
+		rs.PendingHighWater = db.ingest.pendingHighWater()
 		rs.IngestWorkers = db.ingest.workers
 	}
 	for _, c := range db.contracts {

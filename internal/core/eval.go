@@ -105,6 +105,7 @@ func (db *DB) evalQuery(ctx context.Context, spec *ltl.Expr, mode Mode, obligati
 		_, csp := trace.StartSpan(ctx, "canonicalize")
 		var tier1 bool
 		compiled, tier1 = db.compile.Lookup(spec)
+		stats.CompileHit = tier1
 		if csp != nil {
 			csp.SetAttr("cache_hit", tier1)
 		}
@@ -142,7 +143,7 @@ func (db *DB) evalQuery(ctx context.Context, spec *ltl.Expr, mode Mode, obligati
 		return nil, fmt.Errorf("%s: %w", errPrefix, err)
 	}
 	stats.Translate = time.Since(t)
-	db.metrics.Translate.Observe(stats.Translate)
+	db.metrics.Translate.ObserveEx(stats.Translate, trace.SpanContextFrom(ctx).TraceID)
 
 	candidates := db.prefilterLocked(ctx, qa, mode, obligation, &stats)
 
@@ -186,6 +187,7 @@ func (db *DB) serveCachedLocked(ctx context.Context, resKey string, start time.T
 	st.Checked = 0
 	st.Permission = permission.Stats{}
 	st.CacheHit = true
+	st.CompileHit = true
 	db.metrics.CachedServe.Observe(time.Since(start))
 	db.metrics.Permitted.Add(int64(len(cr.matches)))
 	if root := trace.SpanFrom(ctx); root != nil {
@@ -274,7 +276,7 @@ func (db *DB) finishQuery(ctx context.Context, qa *buchi.BA, candidates []*Contr
 	t := time.Now()
 	matches, err := db.evalCandidates(ctx, qa, candidates, mode, invert, stats)
 	stats.Check = time.Since(t)
-	db.metrics.Kernel.Observe(stats.Check)
+	db.metrics.Kernel.ObserveEx(stats.Check, trace.SpanContextFrom(ctx).TraceID)
 	db.metrics.ProjectionPick.Observe(stats.ProjPick)
 	db.metrics.CandidatesScanned.Add(int64(stats.Checked))
 	db.metrics.KernelSteps.Add(int64(stats.Permission.Steps))

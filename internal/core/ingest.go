@@ -1,11 +1,21 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"time"
 
 	"contractdb/internal/bisim"
+	"contractdb/internal/trace"
 )
+
+// promoteTask is one queued promotion plus the trace identity of the
+// registration that caused it (invalid when the registration was
+// untraced).
+type promoteTask struct {
+	c    *Contract
+	link trace.SpanContext
+}
 
 // ingestPipeline completes degraded registrations in the background:
 // Register (and WAL replay of deferred records) enqueues the contract
@@ -25,9 +35,13 @@ type ingestPipeline struct {
 
 	mu      sync.Mutex
 	cond    *sync.Cond
-	queue   []*Contract
+	queue   []promoteTask
 	pending int // queued + in flight; waitIdle waits for zero
-	closed  bool
+	// highWater is the largest pending ever observed — the
+	// backpressure gauge /metrics exports, so a queue that filled and
+	// drained between scrapes still shows.
+	highWater int
+	closed    bool
 
 	wg sync.WaitGroup
 	// maxQueue bounds queue length; enqueue blocks (backpressure) when
@@ -50,17 +64,26 @@ func newIngestPipeline(db *DB, workers int) *ingestPipeline {
 // queue is full. On a closed pipeline it promotes synchronously — the
 // contract still reaches the full tier, just on the caller's time.
 func (p *ingestPipeline) enqueue(c *Contract) {
+	p.enqueueLinked(c, trace.SpanContext{})
+}
+
+// enqueueLinked is enqueue carrying the registering request's trace
+// identity for the worker's linked promote trace.
+func (p *ingestPipeline) enqueueLinked(c *Contract, link trace.SpanContext) {
 	p.mu.Lock()
 	for len(p.queue) >= p.maxQueue && !p.closed {
 		p.cond.Wait()
 	}
 	if p.closed {
 		p.mu.Unlock()
-		p.db.promote(c)
+		p.db.promoteLinked(c, link)
 		return
 	}
-	p.queue = append(p.queue, c)
+	p.queue = append(p.queue, promoteTask{c: c, link: link})
 	p.pending++
+	if p.pending > p.highWater {
+		p.highWater = p.pending
+	}
 	p.cond.Broadcast()
 	p.mu.Unlock()
 }
@@ -76,7 +99,7 @@ func (p *ingestPipeline) worker() {
 			p.mu.Unlock()
 			return
 		}
-		c := p.queue[0]
+		task := p.queue[0]
 		p.queue = p.queue[1:]
 		// Space freed: wake any enqueue blocked on backpressure before
 		// starting the (slow) promote, or it would wait a full
@@ -84,7 +107,7 @@ func (p *ingestPipeline) worker() {
 		p.cond.Broadcast()
 		p.mu.Unlock()
 
-		p.db.promote(c)
+		p.db.promoteLinked(task.c, task.link)
 
 		p.mu.Lock()
 		p.pending--
@@ -109,6 +132,13 @@ func (p *ingestPipeline) pendingCount() int {
 	return p.pending
 }
 
+// pendingHighWater reports the largest pending count ever observed.
+func (p *ingestPipeline) pendingHighWater() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.highWater
+}
+
 // stop closes the pipeline and waits for the workers to drain the
 // queue. Enqueues arriving after stop promote synchronously.
 func (p *ingestPipeline) stop() {
@@ -130,15 +160,36 @@ func (p *ingestPipeline) stop() {
 // the other, never nested, so it cannot deadlock against
 // RegistrationStats (which nests proj.mu inside db.mu's read lock).
 func (db *DB) promote(c *Contract) {
+	db.promoteLinked(c, trace.SpanContext{})
+}
+
+// promoteLinked is promote with the originating registration's trace
+// identity: a valid link (the registration was traced) makes the
+// promotion record its own linked trace under the same trace ID.
+func (db *DB) promoteLinked(c *Contract, link trace.SpanContext) {
 	c.proj.mu.Lock()
 	done := c.proj.ps != nil
 	c.proj.mu.Unlock()
 	if done {
 		return
 	}
+	var tr *trace.Trace
+	var tctx context.Context
+	tracer := db.tracer.Load()
+	if link.Valid() && tracer != nil {
+		tctx, tr = tracer.StartLinked(context.Background(), "promote", link)
+	}
 	t := time.Now()
 	ps := bisim.Precompute(c.auto, db.effectiveBudget(c.auto))
 	elapsed := time.Since(t)
+	if tr != nil {
+		if sp := trace.SpanFrom(tctx); sp != nil {
+			sp.SetAttr("contract", c.Name)
+			sp.SetAttr("precompute_us", elapsed.Microseconds())
+			sp.SetAttr("subsets", ps.PrecomputedSubsets)
+		}
+		defer tracer.Finish(tr)
+	}
 	c.proj.mu.Lock()
 	if c.proj.ps != nil {
 		c.proj.mu.Unlock()

@@ -1,0 +1,149 @@
+package insights
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func entry(q string, durUS int64) *Entry {
+	return &Entry{Query: q, DurUS: durUS, Verdict: "empty", CacheTier: "miss"}
+}
+
+func TestRetentionPolicy(t *testing.T) {
+	l, err := Open(Config{SampleEvery: 4, SlowThreshold: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := 0
+	for i := 0; i < 16; i++ {
+		if l.Record(entry(fmt.Sprintf("q%d", i), 10)) {
+			kept++
+		}
+	}
+	if kept != 4 {
+		t.Errorf("1-in-4 sampler kept %d of 16, want 4", kept)
+	}
+	if !l.Record(entry("slow", 5000)) {
+		t.Error("slow query must always be captured")
+	}
+	e := entry("failed", 10)
+	e.Error = "boom"
+	if !l.Record(e) {
+		t.Error("failed query must always be captured")
+	}
+	// Slow stamping happens inside Record.
+	recent := l.Recent(0)
+	var sawSlow bool
+	for _, e := range recent {
+		if e.Query == "slow" && e.Slow {
+			sawSlow = true
+		}
+	}
+	if !sawSlow {
+		t.Error("slow entry not stamped Slow")
+	}
+}
+
+func TestRecentNewestFirstAndBound(t *testing.T) {
+	l, err := Open(Config{SampleEvery: 1, BufferSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		l.Record(entry(fmt.Sprintf("q%d", i), 10))
+	}
+	got := l.Recent(0)
+	if len(got) != 8 {
+		t.Fatalf("ring retained %d, want 8", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Seq <= got[i].Seq {
+			t.Fatalf("entries not newest first: %d then %d", got[i-1].Seq, got[i].Seq)
+		}
+	}
+	if got[0].Query != "q19" {
+		t.Errorf("newest = %q, want q19", got[0].Query)
+	}
+	if n := len(l.Recent(3)); n != 3 {
+		t.Errorf("Recent(3) = %d entries", n)
+	}
+}
+
+func TestJournalSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Config{SampleEvery: 1, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		l.Record(entry(fmt.Sprintf("q%d", i), int64(i)))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(Config{SampleEvery: 1, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := l2.Recent(0)
+	if len(got) != 5 {
+		t.Fatalf("replayed %d entries, want 5", len(got))
+	}
+	if got[0].Query != "q4" || got[0].Seq != 5 {
+		t.Errorf("newest replayed = %+v", got[0])
+	}
+	// Sequence numbering continues past the replayed history.
+	l2.Record(entry("after", 1))
+	if newest := l2.Recent(1)[0]; newest.Seq != 6 {
+		t.Errorf("post-reopen seq = %d, want 6", newest.Seq)
+	}
+}
+
+func TestJournalPrunesToRetention(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Config{SampleEvery: 1, Dir: dir, RetainRecords: 64, BufferSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		l.Record(entry(fmt.Sprintf("q%d", i), 10))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(Config{SampleEvery: 1, Dir: dir, RetainRecords: 64, BufferSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	first := l2.journal.FirstSeq()
+	next := l2.journal.NextSeq()
+	if next-first > 64+256 { // retention is approximate (segment granularity)
+		t.Errorf("journal holds %d records after pruning, want ~64", next-first)
+	}
+	if first == 1 {
+		t.Error("journal never pruned")
+	}
+}
+
+func TestNilLogIsInert(t *testing.T) {
+	var l *Log
+	if l.Enabled() {
+		t.Error("nil log reports enabled")
+	}
+	if l.Record(entry("q", 1)) {
+		t.Error("nil log recorded")
+	}
+	if l.Recent(5) != nil {
+		t.Error("nil log returned entries")
+	}
+	if l.SlowThreshold() != 0 {
+		t.Error("nil log has a slow threshold")
+	}
+	if err := l.Close(); err != nil {
+		t.Error(err)
+	}
+}

@@ -50,6 +50,30 @@ type Histogram struct {
 	sumUS   atomic.Int64
 	maxUS   atomic.Int64
 	buckets [NumBuckets]atomic.Int64
+	// exemplar is the most recent traced observation (nil until one
+	// lands). One pointer per histogram, not per bucket: the point of
+	// an exemplar is a jump-off into a representative trace, and "most
+	// recent" is representative enough without NumBuckets more words.
+	exemplar atomic.Pointer[Exemplar]
+}
+
+// Exemplar ties one observation to the trace that produced it, for
+// OpenMetrics exposition ("# {trace_id=...}" on histogram samples).
+type Exemplar struct {
+	TraceID string
+	ValueUS int64
+	UnixMS  int64
+}
+
+// ObserveEx records one duration and, when traceID is non-empty,
+// attaches it as the histogram's exemplar. The untraced path
+// (traceID == "") is exactly Observe — no allocation.
+func (h *Histogram) ObserveEx(d time.Duration, traceID string) {
+	h.Observe(d)
+	if traceID != "" {
+		us := d.Microseconds()
+		h.exemplar.Store(&Exemplar{TraceID: traceID, ValueUS: us, UnixMS: time.Now().UnixMilli()})
+	}
 }
 
 // Observe records one duration.
@@ -87,6 +111,9 @@ type HistogramSnapshot struct {
 	// out of the JSON payload, which already carries the quantile
 	// estimates.
 	Buckets []int64 `json:"-"`
+	// Exemplar is the most recent traced observation, if any; only the
+	// OpenMetrics renderer consumes it.
+	Exemplar *Exemplar `json:"-"`
 }
 
 // Snapshot captures the histogram's current state.
@@ -104,6 +131,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		counts[i] = h.buckets[i].Load()
 	}
 	s.Buckets = counts
+	s.Exemplar = h.exemplar.Load()
 	s.P50US = percentile(counts, s.Count, 0.50)
 	s.P99US = percentile(counts, s.Count, 0.99)
 	return s

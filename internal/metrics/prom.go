@@ -3,6 +3,7 @@ package metrics
 import (
 	"fmt"
 	"io"
+	"math/bits"
 	"runtime"
 	"strconv"
 )
@@ -17,10 +18,28 @@ import (
 type PromWriter struct {
 	w   io.Writer
 	err error
+	// openMetrics switches the renderer to the OpenMetrics 1.0 text
+	// format, which is a superset of 0.0.4 plus exemplars: histogram
+	// _bucket samples carry "# {trace_id=...} value ts" when the
+	// snapshot has one, and the exposition ends with "# EOF". Strict
+	// 0.0.4 parsers reject exemplar syntax, so this is only enabled
+	// when the scraper negotiated it via Accept.
+	openMetrics bool
 }
 
 // NewPromWriter returns a renderer writing to w.
 func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// SetOpenMetrics switches the writer to OpenMetrics output (exemplars
+// on histogram buckets; the caller must finish with EOF).
+func (p *PromWriter) SetOpenMetrics(on bool) { p.openMetrics = on }
+
+// EOF terminates an OpenMetrics exposition. No-op in 0.0.4 mode.
+func (p *PromWriter) EOF() {
+	if p.openMetrics {
+		p.printf("# EOF\n")
+	}
+}
 
 // Err returns the first write error, if any.
 func (p *PromWriter) Err() error { return p.err }
@@ -56,6 +75,12 @@ func (p *PromWriter) Gauge(name, help string, v float64) {
 // absorbs everything from ~4.2s up) maps to le="+Inf".
 func (p *PromWriter) Histogram(name, help string, h HistogramSnapshot) {
 	p.header(name, help, "histogram")
+	// In OpenMetrics mode the exemplar rides on the first bucket whose
+	// range contains its value (the spec's placement rule).
+	exBucket := -1
+	if p.openMetrics && h.Exemplar != nil {
+		exBucket = bucketOf(h.Exemplar.ValueUS)
+	}
 	var cum int64
 	for i, c := range h.Buckets {
 		cum += c
@@ -65,11 +90,35 @@ func (p *PromWriter) Histogram(name, help string, h HistogramSnapshot) {
 		// Bucket i counts microsecond values of bit-length i, so its
 		// inclusive upper bound is 2^i - 1 µs (bucket 0 is exactly 0).
 		le := float64((int64(1)<<i)-1) / 1e6
-		p.printf("%s_bucket{le=%q} %d\n", name, strconv.FormatFloat(le, 'g', -1, 64), cum)
+		p.printf("%s_bucket{le=%q} %d%s\n", name, strconv.FormatFloat(le, 'g', -1, 64), cum, p.exemplar(exBucket == i, h.Exemplar))
 	}
-	p.printf("%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+	p.printf("%s_bucket{le=\"+Inf\"} %d%s\n", name, h.Count, p.exemplar(exBucket == len(h.Buckets)-1, h.Exemplar))
 	p.printf("%s_sum %s\n", name, strconv.FormatFloat(float64(h.SumUS)/1e6, 'g', -1, 64))
 	p.printf("%s_count %d\n", name, h.Count)
+}
+
+// bucketOf mirrors Observe's bucket selection.
+func bucketOf(us int64) int {
+	if us < 0 {
+		us = 0
+	}
+	b := bits.Len64(uint64(us))
+	if b >= NumBuckets {
+		b = NumBuckets - 1
+	}
+	return b
+}
+
+// exemplar renders the OpenMetrics exemplar suffix for a bucket
+// sample, or "".
+func (p *PromWriter) exemplar(attach bool, ex *Exemplar) string {
+	if !attach || ex == nil {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=%q} %s %s",
+		ex.TraceID,
+		strconv.FormatFloat(float64(ex.ValueUS)/1e6, 'g', -1, 64),
+		strconv.FormatFloat(float64(ex.UnixMS)/1e3, 'f', 3, 64))
 }
 
 // WriteQuery renders every counter and histogram of a Query snapshot

@@ -68,6 +68,12 @@ func MergeHistograms(snaps ...HistogramSnapshot) HistogramSnapshot {
 		if s.MaxUS > out.MaxUS {
 			out.MaxUS = s.MaxUS
 		}
+		// Keep the newest traced observation so the merged exposition
+		// still links to a trace (per-shard exemplars are equivalent —
+		// any recent one serves the purpose).
+		if s.Exemplar != nil && (out.Exemplar == nil || s.Exemplar.UnixMS > out.Exemplar.UnixMS) {
+			out.Exemplar = s.Exemplar
+		}
 		for i, c := range s.Buckets {
 			if i < NumBuckets {
 				counts[i] += c

@@ -21,6 +21,10 @@ type Stream struct {
 	Creates Counter // streams opened
 	Deletes Counter // streams closed
 	Dropped Counter // journaled records skipped at apply (stream gone)
+
+	// Flow control. SSEDropped counts verdicts shed to slow SSE
+	// consumers (the subscriber got a `: dropped N` comment instead).
+	SSEDropped Counter
 }
 
 // StreamSnapshot is the JSON view of Stream.
@@ -32,9 +36,10 @@ type StreamSnapshot struct {
 	Verdicts    int64 `json:"verdicts"`
 	Transitions int64 `json:"transitions"`
 
-	Creates int64 `json:"creates"`
-	Deletes int64 `json:"deletes"`
-	Dropped int64 `json:"dropped"`
+	Creates    int64 `json:"creates"`
+	Deletes    int64 `json:"deletes"`
+	Dropped    int64 `json:"dropped"`
+	SSEDropped int64 `json:"sse_dropped"`
 }
 
 // Snapshot captures every stream counter and histogram.
@@ -48,6 +53,7 @@ func (s *Stream) Snapshot() StreamSnapshot {
 		Creates:     s.Creates.Value(),
 		Deletes:     s.Deletes.Value(),
 		Dropped:     s.Dropped.Value(),
+		SSEDropped:  s.SSEDropped.Value(),
 	}
 }
 
@@ -57,6 +63,11 @@ type StreamGauges struct {
 	Active      int   `json:"active"`       // open streams
 	Attachments int   `json:"attachments"`  // (stream, contract) monitor slots
 	QueueDepths []int `json:"queue_depths"` // pending batches per ingest shard
+	// QueueHighWater is the deepest each shard's queue has ever been;
+	// VerdictLag is, per shard, the events acknowledged to producers
+	// but not yet applied to frontiers (verdicts still owed).
+	QueueHighWater []int64  `json:"queue_highwater,omitempty"`
+	VerdictLag     []uint64 `json:"verdict_lag,omitempty"`
 }
 
 // WriteStream emits the ctdb_stream_* Prometheus families.
@@ -70,9 +81,18 @@ func (p *PromWriter) WriteStream(s StreamSnapshot, g StreamGauges) {
 	p.Counter("ctdb_stream_creates_total", "Streams opened.", s.Creates)
 	p.Counter("ctdb_stream_deletes_total", "Streams deleted.", s.Deletes)
 	p.Counter("ctdb_stream_dropped_records_total", "Journaled records skipped at apply.", s.Dropped)
+	p.Counter("ctdb_stream_sse_dropped_total", "Verdicts shed to slow SSE consumers.", s.SSEDropped)
 	p.header("ctdb_stream_ingest_queue_depth", "Pending event batches per ingest shard.", "gauge")
 	for i, d := range g.QueueDepths {
 		p.printf("ctdb_stream_ingest_queue_depth{shard=\"%d\"} %d\n", i, d)
+	}
+	p.header("ctdb_stream_ingest_queue_highwater", "Deepest the ingest queue has been, per shard.", "gauge")
+	for i, d := range g.QueueHighWater {
+		p.printf("ctdb_stream_ingest_queue_highwater{shard=\"%d\"} %d\n", i, d)
+	}
+	p.header("ctdb_stream_verdict_lag", "Events acknowledged but not yet applied, per shard.", "gauge")
+	for i, d := range g.VerdictLag {
+		p.printf("ctdb_stream_verdict_lag{shard=\"%d\"} %d\n", i, d)
 	}
 	p.Histogram("ctdb_stream_apply_seconds", "Per-batch frontier apply latency.", s.Apply)
 }

@@ -9,6 +9,7 @@ import (
 	"net/url"
 	"time"
 
+	"contractdb/internal/insights"
 	"contractdb/internal/stream"
 	"contractdb/internal/trace"
 )
@@ -150,6 +151,52 @@ func (c *Client) SlowTraces() ([]*trace.Trace, error) {
 	var out []*trace.Trace
 	err := c.do(http.MethodGet, "/v1/traces/slow", nil, &out)
 	return out, err
+}
+
+// TraceByID fetches every retained trace sharing one trace ID: the
+// request's own trace plus linked asynchronous stages.
+func (c *Client) TraceByID(id string) ([]*trace.Trace, error) {
+	var out []*trace.Trace
+	err := c.do(http.MethodGet, "/v1/traces/"+url.PathEscape(id), nil, &out)
+	return out, err
+}
+
+// TraceOTLP fetches a trace ID's span set as an OTLP/JSON export.
+func (c *Client) TraceOTLP(id string) (map[string]any, error) {
+	var out map[string]any
+	err := c.do(http.MethodGet, "/v1/traces/"+url.PathEscape(id)+"?format=otlp", nil, &out)
+	return out, err
+}
+
+// QueryLog fetches up to n query insights entries, newest first (the
+// server defaults to 100 when n <= 0).
+func (c *Client) QueryLog(n int) ([]*insights.Entry, error) {
+	path := "/v1/querylog"
+	if n > 0 {
+		path += fmt.Sprintf("?n=%d", n)
+	}
+	var out []*insights.Entry
+	err := c.do(http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// DebugBundle downloads the one-shot diagnostic tarball (gzipped tar).
+// cpu > 0 asks the server to include a CPU profile sampled for that
+// long (the server caps the window).
+func (c *Client) DebugBundle(cpu time.Duration) ([]byte, error) {
+	path := c.base + "/v1/debug/bundle"
+	if cpu > 0 {
+		path += "?cpu=" + cpu.String()
+	}
+	resp, err := c.http.Get(path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return nil, fmt.Errorf("server: HTTP %d", resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
 }
 
 // PrometheusMetrics fetches the Prometheus text exposition from

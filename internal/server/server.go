@@ -16,7 +16,11 @@
 //	GET  /v1/metrics             per-stage query metrics (expvar-style JSON)
 //	GET  /v1/traces              recent query traces (sampled or requested)
 //	GET  /v1/traces/slow         queries that crossed the slow-query threshold
+//	GET  /v1/traces/{id}         every retained trace with that ID; ?format=otlp
+//	GET  /v1/querylog            query insights log tail (501 when disabled)
+//	GET  /v1/debug/bundle        one-shot .tar.gz diagnostic bundle
 //	GET  /metrics                Prometheus text exposition of every metric
+//	                             (OpenMetrics + exemplars via Accept)
 //
 // With streaming enabled (see Streams and internal/stream):
 //
@@ -53,10 +57,12 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
 	"contractdb/internal/core"
+	"contractdb/internal/insights"
 	"contractdb/internal/ltl"
 	"contractdb/internal/metrics"
 	"contractdb/internal/stream"
@@ -72,7 +78,7 @@ type DB interface {
 	Vocabulary() *vocab.Vocabulary
 	Contracts() []*core.Contract
 	ByName(name string) (*core.Contract, bool)
-	RegisterLTL(name, src string) (*core.Contract, error)
+	RegisterLTLCtx(ctx context.Context, name, src string) (*core.Contract, error)
 	RegisterBatch(specs []core.Registration, workers int) []core.BatchResult
 	Unregister(name string) error
 	QueryModeCtx(ctx context.Context, spec *ltl.Expr, mode core.Mode) (*core.Result, error)
@@ -125,6 +131,10 @@ type Server struct {
 	// Streams, when non-nil, backs the /v1/streams endpoints (live
 	// compliance monitoring). Left nil they answer 501.
 	Streams *stream.Broker
+	// Insights, when non-nil and enabled, receives one structured
+	// query-log entry per POST /v1/query and backs GET /v1/querylog.
+	// Left nil (or disabled) the handler path stays allocation-free.
+	Insights *insights.Log
 
 	start time.Time
 }
@@ -149,13 +159,20 @@ func New(db DB) *Server {
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /v1/traces/slow", s.handleSlowTraces)
+	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleTraceByID)
+	s.mux.HandleFunc("GET /v1/querylog", s.handleQueryLog)
+	s.mux.HandleFunc("GET /v1/debug/bundle", s.handleDebugBundle)
 	s.mux.HandleFunc("GET /metrics", s.handlePrometheus)
 	s.registerStreamRoutes()
 	return s
 }
 
 // ServeHTTP implements http.Handler: assign (or adopt) the request ID,
-// dispatch, and emit one structured log record when a Logger is set.
+// adopt an inbound W3C traceparent, dispatch, and emit one structured
+// log record when a Logger is set. A valid traceparent is echoed on the
+// response so callers can correlate even on endpoints that start no
+// span of their own; handlers that do start one (POST /v1/query)
+// overwrite the echo with their root span's identity.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	id := r.Header.Get("X-Request-ID")
 	if id == "" {
@@ -163,6 +180,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("X-Request-ID", id)
 	r = r.WithContext(trace.WithRequestID(r.Context(), id))
+	if sc, ok := trace.ParseTraceparent(r.Header.Get("traceparent")); ok {
+		r = r.WithContext(trace.WithRemote(r.Context(), sc))
+		w.Header().Set("Traceparent", sc.Traceparent())
+	}
 	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 	start := time.Now()
 	s.mux.ServeHTTP(sw, r)
@@ -243,6 +264,22 @@ type HealthResponse struct {
 	// fronts an unsharded engine.
 	Shards   int            `json:"shards,omitempty"`
 	Recovery *RecoveryState `json:"recovery,omitempty"`
+	// Streams reports the streaming subsystem's backlog and journal lag;
+	// absent when streaming is disabled.
+	Streams *StreamsHealth `json:"streams,omitempty"`
+}
+
+// StreamsHealth is the health view of the stream broker: how far ingest
+// is behind its producers and how much journal would replay on a crash.
+type StreamsHealth struct {
+	Active int `json:"active"`
+	// PendingBatches is the event batches accepted but not yet applied,
+	// summed across ingest shards.
+	PendingBatches int `json:"pending_batches"`
+	// Journal is the WAL's checkpoint lag (records since the last
+	// checkpoint, segment count, age of the active segment); absent for
+	// an in-memory broker.
+	Journal *stream.JournalStats `json:"journal,omitempty"`
 }
 
 // RecoveryState mirrors store.RecoveryInfo for the wire (the server
@@ -280,17 +317,7 @@ type RecoveryState struct {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	resp := HealthResponse{
-		Status:        "ok",
-		Contracts:     s.db.Len(),
-		Events:        s.db.Vocabulary().Len(),
-		UptimeSeconds: s.uptime(),
-		Recovery:      s.Recovery,
-	}
-	if sh, ok := s.db.(sharder); ok {
-		resp.Shards = sh.NumShards()
-	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, s.healthResponse())
 }
 
 // ContractInfo describes one registered contract.
@@ -355,7 +382,19 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, http.StatusBadRequest, errors.New("spec is required"))
 		return
 	}
-	c, err := s.db.RegisterLTL(req.Name, req.Spec)
+	// A sampled inbound traceparent traces the registration, so the
+	// asynchronous promotion it enqueues records a linked stage under
+	// the caller's trace ID.
+	ctx := r.Context()
+	var tr *trace.Trace
+	if link := trace.Remote(ctx); link.Valid() && link.Sampled {
+		ctx, tr = s.Tracer.Start(ctx, "register")
+		if sp := trace.SpanFrom(ctx); sp != nil {
+			sp.SetAttr("contract", req.Name)
+		}
+	}
+	c, err := s.db.RegisterLTLCtx(ctx, req.Name, req.Spec)
+	s.Tracer.Finish(tr)
 	if err != nil {
 		status := http.StatusBadRequest
 		if strings.Contains(err.Error(), "already registered") {
@@ -541,6 +580,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// Finish on a nil trace is a no-op). Finish happens before the
 	// response is written so an inline trace is complete and immutable.
 	ctx, tr := s.Tracer.StartQuery(ctx, req.Spec, requestID, req.Trace)
+	if sc := trace.SpanContextFrom(ctx); sc.Valid() {
+		w.Header().Set("Traceparent", sc.Traceparent())
+	}
 
 	_, psp := trace.StartSpan(ctx, "parse")
 	spec, err := ltl.Parse(req.Spec)
@@ -569,8 +611,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case req.StepBudget == 0:
 		mode.StepBudget = s.StepBudget
 	}
+	evalStart := time.Now()
 	res, err := s.db.QueryModeCtx(ctx, spec, mode)
 	s.Tracer.Finish(tr)
+	if s.Insights.Enabled() {
+		s.recordInsight(&req, requestID, tr, evalStart, res, err)
+	}
 	if err != nil {
 		switch {
 		case errors.Is(err, core.ErrBudgetExceeded):
@@ -615,6 +661,115 @@ func (s *Server) handleSlowTraces(w http.ResponseWriter, _ *http.Request) {
 		traces = []*trace.Trace{}
 	}
 	writeJSON(w, http.StatusOK, traces)
+}
+
+// handleTraceByID serves every retained trace sharing one trace ID —
+// the request's own trace plus linked asynchronous stages (ingest
+// promotions, stream applies). ?format=otlp renders the set as one
+// OTLP/JSON export so standard tooling can display the stitched tree.
+func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	traces := s.Tracer.ByID(id)
+	if len(traces) == 0 {
+		writeErr(w, r, http.StatusNotFound, fmt.Errorf("no retained trace with id %q", id))
+		return
+	}
+	if r.URL.Query().Get("format") == "otlp" {
+		writeJSON(w, http.StatusOK, trace.OTLP(traces))
+		return
+	}
+	writeJSON(w, http.StatusOK, traces)
+}
+
+// handleQueryLog serves the insights log's retained entries, newest
+// first; ?n= bounds the count (default 100).
+func (s *Server) handleQueryLog(w http.ResponseWriter, r *http.Request) {
+	if !s.Insights.Enabled() {
+		writeErr(w, r, http.StatusNotImplemented, errors.New("query insights log is not enabled (start ctdbd with -querylog-sample)"))
+		return
+	}
+	n := 100
+	if v := r.URL.Query().Get("n"); v != "" {
+		i, err := strconv.Atoi(v)
+		if err != nil || i <= 0 {
+			writeErr(w, r, http.StatusBadRequest, fmt.Errorf("bad n %q", v))
+			return
+		}
+		n = i
+	}
+	entries := s.Insights.Recent(n)
+	if entries == nil {
+		entries = []*insights.Entry{}
+	}
+	writeJSON(w, http.StatusOK, entries)
+}
+
+// recordInsight assembles one insights entry from a finished query
+// evaluation. Callers guard with Insights.Enabled() so the disabled
+// path never reaches entry assembly.
+func (s *Server) recordInsight(req *QueryRequest, requestID string, tr *trace.Trace, start time.Time, res *core.Result, err error) {
+	e := insights.Entry{
+		RequestID:   requestID,
+		Query:       req.Spec,
+		Mode:        req.Mode,
+		StartUnixUS: start.UnixMicro(),
+		DurUS:       time.Since(start).Microseconds(),
+	}
+	if e.Mode == "" {
+		e.Mode = "opt"
+	}
+	if tr != nil {
+		e.TraceID = tr.ID
+	}
+	switch {
+	case err == nil && res != nil && len(res.Matches) > 0:
+		e.Verdict = "matches"
+		e.Matches = len(res.Matches)
+	case err == nil:
+		e.Verdict = "empty"
+	case errors.Is(err, core.ErrCanceled):
+		e.Verdict = "timeout"
+		e.Error = err.Error()
+	default:
+		e.Verdict = "error"
+		e.Error = err.Error()
+	}
+	if res != nil {
+		st := res.Stats
+		e.Corpus = st.Total
+		e.Candidates = st.Candidates
+		e.Checked = st.Checked
+		if st.Total > 0 {
+			e.Selectivity = float64(st.Candidates) / float64(st.Total)
+		}
+		switch {
+		case st.CacheHit:
+			e.CacheTier = "result"
+		case st.CompileHit:
+			e.CacheTier = "compiled"
+		default:
+			e.CacheTier = "miss"
+		}
+		e.TranslateUS = st.Translate.Microseconds()
+		e.FilterUS = st.Filter.Microseconds()
+		e.CheckUS = st.Check.Microseconds()
+		if len(st.Shards) > 0 {
+			e.Shards = make([]insights.ShardStat, len(st.Shards))
+			for i, ps := range st.Shards {
+				e.Shards[i] = insights.ShardStat{
+					Shard:      ps.Shard,
+					DurUS:      ps.Dur.Microseconds(),
+					Candidates: ps.Candidates,
+					Checked:    ps.Checked,
+					Steps:      ps.Steps,
+					Cached:     ps.Cached,
+				}
+			}
+		}
+	} else {
+		e.CacheTier = "miss"
+	}
+	s.Insights.Record(&e)
 }
 
 // StatsResponse mirrors core.RegistrationStats for the wire.
@@ -716,6 +871,12 @@ type CacheMetrics struct {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.metricsResponse())
+}
+
+// metricsResponse builds the /v1/metrics payload (shared with the
+// debug bundle).
+func (s *Server) metricsResponse() MetricsResponse {
 	st := s.db.Stats()
 	var durability *metrics.DurabilitySnapshot
 	if s.Durability != nil {
@@ -738,7 +899,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			Gauges:         s.Streams.Gauges(),
 		}
 	}
-	writeJSON(w, http.StatusOK, MetricsResponse{
+	return MetricsResponse{
 		Sharding:         sharding,
 		Durability:       durability,
 		Streams:          streams,
@@ -759,17 +920,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			ResultCacheLen: st.Caches.ResultCacheLen,
 			ResultCacheCap: st.Caches.ResultCacheCap,
 		},
-	})
+	}
 }
 
 // handlePrometheus serves GET /metrics: the whole metrics surface —
 // registration gauges, every query counter and histogram, durability
 // (when configured) and process runtime — in the Prometheus text
-// exposition format.
-func (s *Server) handlePrometheus(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	st := s.db.Stats()
+// exposition format. A scraper that negotiates OpenMetrics via Accept
+// gets the 1.0 superset: histogram buckets carry trace-ID exemplars
+// and the exposition ends with # EOF.
+func (s *Server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
 	p := metrics.NewPromWriter(w)
+	if strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		p.SetOpenMetrics(true)
+	} else {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	}
+	s.writePrometheus(p)
+}
+
+// writePrometheus renders the full exposition into p (shared between
+// GET /metrics and the debug bundle).
+func (s *Server) writePrometheus(p *metrics.PromWriter) {
+	st := s.db.Stats()
 	p.Gauge("ctdb_contracts", "Registered contracts.", float64(st.Registration.Contracts))
 	p.Gauge("ctdb_vocabulary_events", "Distinct event names in the vocabulary.", float64(s.db.Vocabulary().Len()))
 	p.Gauge("ctdb_index_nodes", "Prefilter index nodes.", float64(st.Registration.IndexNodes))
@@ -778,6 +952,7 @@ func (s *Server) handlePrometheus(w http.ResponseWriter, _ *http.Request) {
 	p.Gauge("ctdb_uptime_seconds", "Seconds since the server started.", s.uptime())
 	p.Gauge("ctdb_contracts_degraded", "Contracts at the degraded tier (projection precompute pending).", float64(st.Registration.Degraded))
 	p.Gauge("ctdb_ingest_pending", "Registrations queued or in flight in the ingest pipeline.", float64(st.Registration.PendingIngest))
+	p.Gauge("ctdb_ingest_pending_highwater", "Deepest the ingest promotion queue has been.", float64(st.Registration.PendingHighWater))
 	p.Gauge("ctdb_ingest_promotions_total", "Completed degraded-to-full tier promotions.", float64(st.Registration.Promotions))
 	p.Gauge("ctdb_registration_translations_total", "LTL-to-BA translations performed by registration paths this process.", float64(st.Registration.Translations))
 	if rec := s.Recovery; rec != nil {
@@ -803,6 +978,7 @@ func (s *Server) handlePrometheus(w http.ResponseWriter, _ *http.Request) {
 		p.WriteStream(s.Streams.Metrics().Snapshot(), s.Streams.Gauges())
 	}
 	p.WriteRuntime()
+	p.EOF()
 }
 
 func decodeBody(r *http.Request, v any) error {

@@ -31,6 +31,12 @@ const (
 	maxVerdictWait = 60 * time.Second
 	// sseHeartbeat is the idle interval between SSE keepalive comments.
 	sseHeartbeat = 15 * time.Second
+	// maxSSEBacklog bounds how many buffered verdicts one SSE write
+	// round will flush to a consumer that fell behind. Older verdicts
+	// beyond the bound are shed (counted in ctdb_stream_sse_dropped_total
+	// and announced with a ": dropped N" comment) so one slow reader
+	// cannot make the handler stream an unbounded catch-up burst.
+	maxSSEBacklog = 256
 )
 
 func (s *Server) registerStreamRoutes() {
@@ -245,6 +251,12 @@ func (s *Server) streamVerdictsSSE(w http.ResponseWriter, r *http.Request, b *st
 			fmt.Fprint(w, ": keepalive\n\n")
 			fl.Flush()
 			continue
+		}
+		if len(vs) > maxSSEBacklog {
+			dropped := len(vs) - maxSSEBacklog
+			vs = vs[dropped:]
+			b.Metrics().SSEDropped.Add(int64(dropped))
+			fmt.Fprintf(w, ": dropped %d\n\n", dropped)
 		}
 		for _, v := range vs {
 			data, err := json.Marshal(v)

@@ -81,6 +81,7 @@ func (db *DB) QueryObligationModeCtx(ctx context.Context, spec *ltl.Expr, mode c
 type probe struct {
 	res *core.Result
 	err error
+	dur time.Duration
 }
 
 // eval is the scatter-gather protocol:
@@ -117,13 +118,14 @@ func (db *DB) eval(ctx context.Context, spec *ltl.Expr, mode core.Mode, obligati
 	// Stage 1: translate once.
 	var stats core.QueryStats
 	t := time.Now()
-	qa, key, err := db.translate(ctx, spec, mode, obligation)
+	qa, key, tier1, err := db.translate(ctx, spec, mode, obligation)
+	stats.CompileHit = tier1
 	if err != nil {
 		db.metrics.Errored.Inc()
 		return nil, fmt.Errorf("%s: %w", errPrefix, err)
 	}
 	stats.Translate = time.Since(t)
-	db.metrics.Translate.Observe(stats.Translate)
+	db.metrics.Translate.ObserveEx(stats.Translate, trace.SpanContextFrom(ctx).TraceID)
 
 	// Stage 2+3: scatter with shared cancellation.
 	if ctx == nil {
@@ -145,15 +147,19 @@ func (db *DB) eval(ctx context.Context, spec *ltl.Expr, mode core.Mode, obligati
 			if psp != nil {
 				psp.SetAttr("shard", i)
 			}
+			pstart := time.Now()
 			res, err := sh.EvalCompiled(pctx, qa, key, mode, obligation)
+			pdur := time.Since(pstart)
 			if psp != nil && res != nil {
 				psp.SetAttr("matched", len(res.Matches))
+				psp.SetAttr("candidates", res.Stats.Candidates)
 				psp.SetAttr("checked", res.Stats.Checked)
+				psp.SetAttr("steps", res.Stats.Permission.Steps)
 				psp.SetAttr("cached", res.Stats.CacheHit)
 			}
 			psp.SetError(err)
 			psp.End()
-			probes[i] = probe{res: res, err: err}
+			probes[i] = probe{res: res, err: err, dur: pdur}
 			switch {
 			case err != nil:
 				cancel(err)
@@ -189,11 +195,11 @@ func (db *DB) eval(ctx context.Context, spec *ltl.Expr, mode core.Mode, obligati
 // cache when the mode allows it. The returned key is the canonical
 // query key the shards use to address their result caches; it is empty
 // exactly when caching is off for this evaluation.
-func (db *DB) translate(ctx context.Context, spec *ltl.Expr, mode core.Mode, obligation bool) (*buchi.BA, string, error) {
+func (db *DB) translate(ctx context.Context, spec *ltl.Expr, mode core.Mode, obligation bool) (*buchi.BA, string, bool, error) {
 	var compiled *qcache.Compiled
+	var tier1 bool
 	if cc := db.compile.Load(); cc != nil && !mode.NoCache {
 		_, csp := trace.StartSpan(ctx, "canonicalize")
-		var tier1 bool
 		compiled, tier1 = cc.Lookup(spec)
 		if csp != nil {
 			csp.SetAttr("cache_hit", tier1)
@@ -221,7 +227,7 @@ func (db *DB) translate(ctx context.Context, spec *ltl.Expr, mode core.Mode, obl
 	}
 	tsp.SetError(err)
 	tsp.End()
-	return qa, key, err
+	return qa, key, tier1, err
 }
 
 // gather resolves the scatter's outcome and merges the per-shard
@@ -248,6 +254,7 @@ func (db *DB) gather(probes []probe, cctx, ctx context.Context, mode core.Mode, 
 	var matches []*core.Contract
 	hits, served := 0, 0
 	stats.CacheHit = len(probes) > 0
+	stats.Shards = make([]core.ShardProbeStat, 0, len(probes))
 	for i := range probes {
 		p := &probes[i]
 		if p.res == nil {
@@ -258,6 +265,14 @@ func (db *DB) gather(probes []probe, cctx, ctx context.Context, mode core.Mode, 
 		}
 		served++
 		ps := p.res.Stats
+		stats.Shards = append(stats.Shards, core.ShardProbeStat{
+			Shard:      i,
+			Dur:        p.dur,
+			Candidates: ps.Candidates,
+			Checked:    ps.Checked,
+			Steps:      int64(ps.Permission.Steps),
+			Cached:     ps.CacheHit,
+		})
 		stats.Total += ps.Total
 		stats.Candidates += ps.Candidates
 		stats.Checked += ps.Checked

@@ -22,6 +22,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"runtime"
@@ -33,6 +34,7 @@ import (
 	"contractdb/internal/ltl"
 	"contractdb/internal/metrics"
 	"contractdb/internal/qcache"
+	"contractdb/internal/trace"
 	"contractdb/internal/vocab"
 )
 
@@ -157,19 +159,39 @@ func (db *DB) shardFor(name string) *core.DB {
 // write-locking only that shard. An empty name gets a generated one
 // (minted globally, so the sequence matches an unsharded database's).
 func (db *DB) Register(name string, spec *ltl.Expr) (*core.Contract, error) {
+	return db.RegisterCtx(nil, name, spec)
+}
+
+// RegisterCtx is Register under a context carrying trace identity;
+// see core.DB.RegisterCtx.
+func (db *DB) RegisterCtx(ctx context.Context, name string, spec *ltl.Expr) (*core.Contract, error) {
 	if name == "" {
 		name = db.nextAutoName()
 	}
-	return db.shardFor(name).Register(name, spec)
+	return db.shardFor(name).RegisterCtx(ctx, name, spec)
 }
 
 // RegisterLTL parses src and registers it.
 func (db *DB) RegisterLTL(name, src string) (*core.Contract, error) {
+	return db.RegisterLTLCtx(nil, name, src)
+}
+
+// RegisterLTLCtx parses src and registers it under a context carrying
+// trace identity.
+func (db *DB) RegisterLTLCtx(ctx context.Context, name, src string) (*core.Contract, error) {
 	spec, err := ltl.Parse(src)
 	if err != nil {
 		return nil, fmt.Errorf("core: contract %q: %w", name, err)
 	}
-	return db.Register(name, spec)
+	return db.RegisterCtx(ctx, name, spec)
+}
+
+// SetTracer wires the tracer for linked promotion traces through to
+// every shard.
+func (db *DB) SetTracer(t *trace.Tracer) {
+	for _, sh := range db.shards {
+		sh.SetTracer(t)
+	}
 }
 
 // nextAutoName mints an unused generated name. The counter only moves
@@ -406,6 +428,7 @@ func (db *DB) RegistrationStats() core.RegistrationStats {
 		out.Translations += rs.Translations
 		out.Degraded += rs.Degraded
 		out.PendingIngest += rs.PendingIngest
+		out.PendingHighWater += rs.PendingHighWater
 		out.IngestWorkers += rs.IngestWorkers
 		out.Promotions += rs.Promotions
 	}

@@ -311,6 +311,10 @@ type task struct {
 	snaps     []vocab.Set
 	contracts []string
 	done      chan error
+	// link is the trace identity of the request that queued the task
+	// (invalid when untraced); the worker's apply records a linked
+	// trace under the same trace ID.
+	link trace.SpanContext
 }
 
 // shard owns one partition of the stream space: a mutex domain, the
@@ -326,7 +330,22 @@ type shard struct {
 	groups   map[string]*group
 	queue    chan task
 	pending  atomic.Int64
-	encBuf   []byte // journal encode scratch, under ingestMu
+	// highWater is the deepest the queue has ever been (pending
+	// tasks), the backpressure gauge — a queue that filled and drained
+	// between scrapes still shows.
+	highWater atomic.Int64
+	encBuf    []byte // journal encode scratch, under ingestMu
+}
+
+// noteDepth records the queue depth after an enqueue for the
+// high-watermark gauge.
+func (sh *shard) noteDepth(depth int64) {
+	for {
+		hw := sh.highWater.Load()
+		if depth <= hw || sh.highWater.CompareAndSwap(hw, depth) {
+			return
+		}
+	}
 }
 
 // Broker is the streaming-monitor subsystem. Create with New.
@@ -452,8 +471,8 @@ func (b *Broker) Create(ctx context.Context, name string, contracts []string) (I
 			return Info{}, err
 		}
 	}
-	sh.pending.Add(1)
-	sh.queue <- task{kind: taskCreate, name: name, contracts: contracts, done: done}
+	sh.noteDepth(sh.pending.Add(1))
+	sh.queue <- task{kind: taskCreate, name: name, contracts: contracts, done: done, link: trace.SpanContextFrom(ctx)}
 	sh.ingestMu.Unlock()
 	b.bumpRecords()
 	select {
@@ -488,8 +507,8 @@ func (b *Broker) Delete(ctx context.Context, name string) error {
 			return err
 		}
 	}
-	sh.pending.Add(1)
-	sh.queue <- task{kind: taskDelete, name: name, done: done}
+	sh.noteDepth(sh.pending.Add(1))
+	sh.queue <- task{kind: taskDelete, name: name, done: done, link: trace.SpanContextFrom(ctx)}
 	sh.ingestMu.Unlock()
 	b.bumpRecords()
 	select {
@@ -529,8 +548,8 @@ func (b *Broker) Append(ctx context.Context, name string, snaps []vocab.Set) (ui
 		}
 	}
 	st.accepted.Store(first + uint64(len(snaps)))
-	sh.pending.Add(1)
-	sh.queue <- task{kind: taskEvents, name: name, first: first, snaps: snaps}
+	sh.noteDepth(sh.pending.Add(1))
+	sh.queue <- task{kind: taskEvents, name: name, first: first, snaps: snaps, link: trace.SpanContextFrom(ctx)}
 	sh.ingestMu.Unlock()
 	b.bumpRecords()
 	return first, nil
@@ -634,17 +653,53 @@ func (b *Broker) List() []Info {
 
 // Gauges samples the broker's point-in-time shape for scrapers.
 func (b *Broker) Gauges() metrics.StreamGauges {
-	g := metrics.StreamGauges{QueueDepths: make([]int, len(b.shards))}
+	g := metrics.StreamGauges{
+		QueueDepths:    make([]int, len(b.shards)),
+		QueueHighWater: make([]int64, len(b.shards)),
+		VerdictLag:     make([]uint64, len(b.shards)),
+	}
 	for i, sh := range b.shards {
 		g.QueueDepths[i] = len(sh.queue)
+		g.QueueHighWater[i] = sh.highWater.Load()
 		sh.mu.Lock()
 		g.Active += len(sh.streams)
 		for _, st := range sh.streams {
 			g.Attachments += len(st.atts)
+			// accepted can be mid-store while we read; lag is a gauge,
+			// not an invariant, so clamp instead of locking ingest.
+			if acc := st.accepted.Load(); acc > st.events {
+				g.VerdictLag[i] += acc - st.events
+			}
 		}
 		sh.mu.Unlock()
 	}
 	return g
+}
+
+// JournalStats is the stream journal's checkpoint-lag view: how much
+// acknowledged data the next crash would have to replay.
+type JournalStats struct {
+	// RecordsSinceCheckpoint counts journal appends since the last
+	// completed checkpoint.
+	RecordsSinceCheckpoint int64 `json:"records_since_checkpoint"`
+	// Segments is the journal's on-disk segment-file count.
+	Segments int `json:"segments"`
+	// OldestUnsealedAgeMS is how long the active (unsealed) segment
+	// has been accepting appends, in milliseconds.
+	OldestUnsealedAgeMS int64 `json:"oldest_unsealed_age_ms"`
+}
+
+// JournalStats reports checkpoint lag; zero value (and false) for
+// in-memory brokers.
+func (b *Broker) JournalStats() (JournalStats, bool) {
+	if b.journal == nil {
+		return JournalStats{}, false
+	}
+	return JournalStats{
+		RecordsSinceCheckpoint: b.recordsSince.Load(),
+		Segments:               b.journal.log.SegmentCount(),
+		OldestUnsealedAgeMS:    time.Since(b.journal.log.ActiveSince()).Milliseconds(),
+	}, true
 }
 
 // Metrics returns the broker's counter registry.
@@ -696,10 +751,13 @@ func (b *Broker) Close() error {
 }
 
 func (b *Broker) bumpRecords() {
-	if b.journal == nil || b.checkpointRecords <= 0 {
+	if b.journal == nil {
 		return
 	}
-	if b.recordsSince.Add(1) < b.checkpointRecords {
+	// Counted even with auto-checkpoints disabled: JournalStats
+	// reports it as checkpoint lag.
+	n := b.recordsSince.Add(1)
+	if b.checkpointRecords <= 0 || n < b.checkpointRecords {
 		return
 	}
 	if !b.checkpointing.CompareAndSwap(false, true) {
@@ -722,17 +780,39 @@ func (sh *shard) lookup(name string) *stream {
 func (sh *shard) run() {
 	defer sh.b.wg.Done()
 	for t := range sh.queue {
+		// A traced producer (Append/Create/Delete under a traced
+		// request) gets a linked trace for its asynchronous apply, so
+		// the verdict work shows up under the request's trace ID.
+		var tr *trace.Trace
+		var sp *trace.Span
+		if t.link.Valid() {
+			var tctx context.Context
+			tctx, tr = sh.b.tracer.StartLinked(context.Background(), "stream_apply", t.link)
+			if sp = trace.SpanFrom(tctx); sp != nil {
+				sp.SetAttr("shard", sh.id)
+				if t.name != "" {
+					sp.SetAttr("stream", t.name)
+				}
+			}
+		}
 		var err error
 		switch t.kind {
 		case taskEvents:
 			start := time.Now()
 			err = sh.applyEvents(t.name, t.first, t.snaps)
 			sh.b.met.Apply.Observe(time.Since(start))
+			if sp != nil {
+				sp.SetAttr("events", len(t.snaps))
+			}
 		case taskCreate:
 			err = sh.applyCreate(t.name, t.contracts)
 		case taskDelete:
 			err = sh.applyDelete(t.name)
 		case taskBarrier:
+		}
+		if tr != nil {
+			sp.SetError(err)
+			sh.b.tracer.Finish(tr)
 		}
 		sh.pending.Add(-1)
 		if t.done != nil {

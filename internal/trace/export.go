@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// FileExporter writes each finished trace as one OTLP/JSON document
+// per line (JSONL), the format collectors' filelog receivers and plain
+// jq both read. Wire it to Config.Exporter.
+type FileExporter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewFileExporter exports to w. The caller owns w's lifetime (ctdbd
+// opens the -trace-export file and closes it on shutdown).
+func NewFileExporter(w io.Writer) *FileExporter {
+	return &FileExporter{w: w}
+}
+
+// Export writes the trace. Errors are swallowed: trace export is
+// best-effort telemetry and must never fail an operation.
+func (e *FileExporter) Export(tr *Trace) {
+	data, err := json.Marshal(OTLP([]*Trace{tr}))
+	if err != nil {
+		return
+	}
+	data = append(data, '\n')
+	e.mu.Lock()
+	e.w.Write(data)
+	e.mu.Unlock()
+}
+
+// HTTPExporter POSTs each finished trace as an OTLP/JSON document to
+// an OTLP/HTTP traces endpoint (e.g. an otel collector's
+// http://host:4318/v1/traces). Export enqueues and returns
+// immediately; a single background sender drains the bounded queue and
+// drops on overload — a slow collector must never backpressure query
+// serving.
+type HTTPExporter struct {
+	url     string
+	queue   chan *Trace
+	done    chan struct{}
+	client  *http.Client
+	dropped int64
+	mu      sync.Mutex
+}
+
+// NewHTTPExporter starts the background sender.
+func NewHTTPExporter(url string) *HTTPExporter {
+	e := &HTTPExporter{
+		url:    url,
+		queue:  make(chan *Trace, 256),
+		done:   make(chan struct{}),
+		client: &http.Client{Timeout: 5 * time.Second},
+	}
+	go e.run()
+	return e
+}
+
+// Export enqueues the trace, dropping it if the sender is behind.
+func (e *HTTPExporter) Export(tr *Trace) {
+	select {
+	case e.queue <- tr:
+	default:
+		e.mu.Lock()
+		e.dropped++
+		e.mu.Unlock()
+	}
+}
+
+// Dropped returns how many traces were shed because the sender was
+// behind.
+func (e *HTTPExporter) Dropped() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.dropped
+}
+
+// Close stops the sender after draining what is already queued.
+func (e *HTTPExporter) Close() {
+	close(e.queue)
+	<-e.done
+}
+
+func (e *HTTPExporter) run() {
+	defer close(e.done)
+	for tr := range e.queue {
+		data, err := json.Marshal(OTLP([]*Trace{tr}))
+		if err != nil {
+			continue
+		}
+		resp, err := e.client.Post(e.url, "application/json", bytes.NewReader(data))
+		if err != nil {
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}

@@ -1,0 +1,113 @@
+// OTLP/JSON rendering of finished traces, compatible with the
+// OpenTelemetry Protocol's ExportTraceServiceRequest JSON encoding —
+// the shape `otelcol`'s OTLP/HTTP receiver, Jaeger's JSON importer and
+// Grafana Tempo all accept. The package stays dependency-free: the
+// document is built as plain maps/slices and marshalled by callers.
+package trace
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// OTLP renders the traces — typically every retained trace sharing one
+// trace ID, from Tracer.ByID — as one OTLP/JSON resourceSpans
+// document. Traces linked across asynchronous stages (StartLinked)
+// come out as a single stitched span tree: each linked trace's root
+// span carries its recorded parent span ID.
+func OTLP(traces []*Trace) map[string]any {
+	spans := make([]map[string]any, 0, 16)
+	for _, tr := range traces {
+		if tr == nil || tr.Root == nil {
+			continue
+		}
+		spans = appendOTLPSpan(spans, tr, tr.Root, tr.ParentSpan)
+	}
+	return map[string]any{
+		"resourceSpans": []map[string]any{{
+			"resource": map[string]any{
+				"attributes": []map[string]any{
+					otlpAttr("service.name", "contractdb"),
+				},
+			},
+			"scopeSpans": []map[string]any{{
+				"scope": map[string]any{"name": "contractdb/internal/trace"},
+				"spans": spans,
+			}},
+		}},
+	}
+}
+
+func appendOTLPSpan(out []map[string]any, tr *Trace, s *Span, parent uint64) []map[string]any {
+	startNano := (tr.StartUnixUS + s.StartUS) * 1000
+	endNano := startNano + s.DurUS*1000
+	m := map[string]any{
+		"traceId":           tr.ID,
+		"spanId":            hex16(s.SpanID),
+		"name":              s.Name,
+		"kind":              1, // SPAN_KIND_INTERNAL
+		"startTimeUnixNano": strconv.FormatInt(startNano, 10),
+		"endTimeUnixNano":   strconv.FormatInt(endNano, 10),
+	}
+	if parent != 0 {
+		m["parentSpanId"] = hex16(parent)
+	}
+	attrs := make([]map[string]any, 0, len(s.Attrs)+2)
+	for _, a := range s.Attrs {
+		attrs = append(attrs, otlpAttr(a.Key, a.Value))
+	}
+	if s == tr.Root {
+		if tr.RequestID != "" {
+			attrs = append(attrs, otlpAttr("request.id", tr.RequestID))
+		}
+		if tr.Query != "" {
+			attrs = append(attrs, otlpAttr("query.spec", tr.Query))
+		}
+	}
+	if len(attrs) > 0 {
+		m["attributes"] = attrs
+	}
+	if s.Error != "" {
+		m["status"] = map[string]any{"code": 2, "message": s.Error} // STATUS_CODE_ERROR
+	}
+	out = append(out, m)
+	for _, c := range s.Children {
+		out = appendOTLPSpan(out, tr, c, s.SpanID)
+	}
+	return out
+}
+
+// otlpAttr renders one key/value as an OTLP KeyValue: the value typed
+// as stringValue/intValue/boolValue/doubleValue per the protocol
+// (intValue is a decimal string in OTLP/JSON, matching protobuf's
+// JSON mapping of int64).
+func otlpAttr(key string, value any) map[string]any {
+	var v map[string]any
+	switch x := value.(type) {
+	case bool:
+		v = map[string]any{"boolValue": x}
+	case int:
+		v = map[string]any{"intValue": strconv.Itoa(x)}
+	case int64:
+		v = map[string]any{"intValue": strconv.FormatInt(x, 10)}
+	case uint64:
+		v = map[string]any{"intValue": strconv.FormatUint(x, 10)}
+	case float64:
+		v = map[string]any{"doubleValue": x}
+	case string:
+		v = map[string]any{"stringValue": x}
+	default:
+		v = map[string]any{"stringValue": fmt.Sprint(x)}
+	}
+	return map[string]any{"key": key, "value": v}
+}
+
+func hex16(v uint64) string {
+	const digits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = digits[v&0xf]
+		v >>= 4
+	}
+	return string(b[:])
+}

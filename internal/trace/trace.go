@@ -36,6 +36,7 @@ type ctxKey int
 const (
 	spanKey ctxKey = iota
 	requestIDKey
+	remoteKey
 )
 
 // MaxChildren bounds the children recorded under one span. A scan over
@@ -57,7 +58,12 @@ type Attr struct {
 // matching the metrics histograms' unit. A span is mutable until End
 // and must not be modified after its trace is finished.
 type Span struct {
-	Name            string  `json:"name"`
+	Name string `json:"name"`
+	// SpanID is the span's W3C trace-context identifier (random 64-bit,
+	// rendered as 16 hex chars in traceparent headers and OTLP export).
+	// Only spans of an active trace carry one; the disabled path never
+	// builds a Span at all.
+	SpanID          uint64  `json:"span_id,omitempty"`
 	StartUS         int64   `json:"start_us"`
 	DurUS           int64   `json:"dur_us"`
 	Attrs           []Attr  `json:"attrs,omitempty"`
@@ -65,14 +71,22 @@ type Span struct {
 	Children        []*Span `json:"children,omitempty"`
 	ChildrenDropped int     `json:"children_dropped,omitempty"`
 
-	mu    sync.Mutex // guards Attrs, Children, ChildrenDropped
-	epoch time.Time  // the owning trace's start, for StartUS offsets
-	start time.Time
+	mu      sync.Mutex // guards Attrs, Children, ChildrenDropped
+	epoch   time.Time  // the owning trace's start, for StartUS offsets
+	start   time.Time
+	traceID string // the owning trace's W3C ID, for SpanContextFrom
 }
 
-func newSpan(name string, epoch time.Time) *Span {
+func newSpan(name string, parent *Span) *Span {
 	now := time.Now()
-	return &Span{Name: name, StartUS: now.Sub(epoch).Microseconds(), epoch: epoch, start: now}
+	return &Span{
+		Name:    name,
+		SpanID:  rand.Uint64(),
+		StartUS: now.Sub(parent.epoch).Microseconds(),
+		epoch:   parent.epoch,
+		start:   now,
+		traceID: parent.traceID,
+	}
 }
 
 // End stamps the span's duration. Safe on a nil span.
@@ -137,19 +151,140 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	if parent == nil {
 		return ctx, nil
 	}
-	s := newSpan(name, parent.epoch)
+	s := newSpan(name, parent)
 	parent.addChild(s)
 	return context.WithValue(ctx, spanKey, s), s
+}
+
+// SpanContext is the W3C trace-context identity of one span: enough to
+// continue its trace in another component (or another process) and to
+// stitch the continuation back under it at export time. The zero value
+// is "no context" and Valid reports false for it.
+type SpanContext struct {
+	TraceID string // 32 lowercase hex chars
+	SpanID  uint64
+	Sampled bool
+}
+
+// Valid reports whether the context identifies a real span.
+func (sc SpanContext) Valid() bool {
+	return len(sc.TraceID) == traceIDHexLen && sc.SpanID != 0
+}
+
+// Traceparent renders the context as a W3C traceparent header value
+// (version 00).
+func (sc SpanContext) Traceparent() string {
+	flags := 0
+	if sc.Sampled {
+		flags = 1
+	}
+	return fmt.Sprintf("00-%s-%016x-%02x", sc.TraceID, sc.SpanID, flags)
+}
+
+const traceIDHexLen = 32
+
+// ParseTraceparent parses a W3C traceparent header value
+// ("00-<32 hex>-<16 hex>-<2 hex>"). Unknown versions are accepted per
+// the spec as long as the version-00 prefix parses; all-zero trace or
+// span IDs are rejected as the spec requires.
+func ParseTraceparent(h string) (SpanContext, bool) {
+	if len(h) < 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return SpanContext{}, false
+	}
+	if len(h) > 55 && h[55] != '-' {
+		return SpanContext{}, false
+	}
+	if !isLowerHex(h[0:2]) || h[0:2] == "ff" {
+		return SpanContext{}, false
+	}
+	traceID := h[3:35]
+	if !isLowerHex(traceID) || traceID == "00000000000000000000000000000000" {
+		return SpanContext{}, false
+	}
+	spanHex := h[36:52]
+	if !isLowerHex(spanHex) {
+		return SpanContext{}, false
+	}
+	var spanID uint64
+	for i := 0; i < 16; i++ {
+		spanID = spanID<<4 | uint64(hexVal(spanHex[i]))
+	}
+	if spanID == 0 {
+		return SpanContext{}, false
+	}
+	flagsHex := h[53:55]
+	if !isLowerHex(flagsHex) {
+		return SpanContext{}, false
+	}
+	flags := hexVal(flagsHex[0])<<4 | hexVal(flagsHex[1])
+	return SpanContext{TraceID: traceID, SpanID: spanID, Sampled: flags&1 == 1}, true
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func hexVal(c byte) int {
+	if c <= '9' {
+		return int(c - '0')
+	}
+	return int(c-'a') + 10
+}
+
+// WithRemote returns a context carrying an inbound remote span context
+// (a parsed traceparent header). The server's middleware installs it;
+// StartQuery and Start adopt it so the local trace joins the caller's.
+func WithRemote(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, remoteKey, sc)
+}
+
+// Remote returns the context's inbound remote span context, or the
+// zero value.
+func Remote(ctx context.Context) SpanContext {
+	if ctx == nil {
+		return SpanContext{}
+	}
+	sc, _ := ctx.Value(remoteKey).(SpanContext)
+	return sc
+}
+
+// SpanContextFrom returns the identity of the context's active span,
+// or the zero value when tracing is off for this call chain. It is the
+// capture half of cross-component propagation: a component about to
+// hand work to an asynchronous stage (ingest promotion, stream apply)
+// captures the span context here and the stage continues it with
+// StartLinked. Allocation-free on the disabled path.
+func SpanContextFrom(ctx context.Context) SpanContext {
+	s := SpanFrom(ctx)
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.traceID, SpanID: s.SpanID, Sampled: true}
 }
 
 // Trace is one finished (or in-flight) span tree plus its identity.
 // Finished traces are immutable and shared between the rings and any
 // response they were returned inline with.
 type Trace struct {
+	// ID is the trace's W3C trace-context identifier (32 lowercase hex
+	// chars): adopted from the caller's traceparent when one arrived,
+	// minted otherwise. Traces that continue one request across
+	// asynchronous stages (StartLinked) share an ID; GET
+	// /v1/traces/{id} collects them all.
 	ID        string `json:"id"`
 	Name      string `json:"name"` // "query", "checkpoint", "recovery", ...
 	RequestID string `json:"request_id,omitempty"`
 	Query     string `json:"query,omitempty"`
+	// ParentSpan, when non-zero, is the span (in another trace sharing
+	// this ID) that caused this trace: the registration span for an
+	// ingest promotion, the append span for a stream apply.
+	ParentSpan uint64 `json:"parent_span,omitempty"`
 	// StartUnixUS is the trace's wall-clock start (Unix microseconds);
 	// span StartUS offsets are relative to it.
 	StartUnixUS int64 `json:"start_unix_us"`
@@ -163,6 +298,11 @@ type Trace struct {
 
 func newID(prefix string) string {
 	return fmt.Sprintf("%s-%016x", prefix, rand.Uint64())
+}
+
+// NewTraceID mints a W3C trace identifier: 32 lowercase hex chars.
+func NewTraceID() string {
+	return fmt.Sprintf("%016x%016x", rand.Uint64(), rand.Uint64())
 }
 
 // NewRequestID mints a request identifier in the form the server
@@ -242,6 +382,11 @@ type Config struct {
 	// that crossed SlowThreshold (the server wires it to the structured
 	// slow-query log).
 	OnSlow func(*Trace)
+	// Exporter, when non-nil, receives every retained trace as it is
+	// finished (ctdbd wires it to the -trace-export file or OTLP
+	// endpoint). Called synchronously; exporters that do I/O should
+	// hand off to their own goroutine.
+	Exporter func(*Trace)
 }
 
 // Default ring capacities.
@@ -280,15 +425,22 @@ func (t *Tracer) SlowThreshold() time.Duration {
 }
 
 // start builds an in-flight trace rooted at a span covering the whole
-// operation and returns a context carrying that root span.
-func (t *Tracer) start(ctx context.Context, name, query, requestID string) (context.Context, *Trace) {
+// operation and returns a context carrying that root span. A valid
+// link makes the trace continue the linked one: same trace ID, parent
+// span recorded for export-time stitching.
+func (t *Tracer) start(ctx context.Context, name, query, requestID string, link SpanContext) (context.Context, *Trace) {
 	now := time.Now()
-	root := &Span{Name: name, epoch: now, start: now}
+	id := link.TraceID
+	if id == "" {
+		id = NewTraceID()
+	}
+	root := &Span{Name: name, SpanID: rand.Uint64(), epoch: now, start: now, traceID: id}
 	tr := &Trace{
-		ID:          newID("t"),
+		ID:          id,
 		Name:        name,
 		Query:       query,
 		RequestID:   requestID,
+		ParentSpan:  link.SpanID,
 		StartUnixUS: now.UnixMicro(),
 		Root:        root,
 	}
@@ -309,11 +461,21 @@ func (t *Tracer) StartQuery(ctx context.Context, query, requestID string, force 
 	if t == nil {
 		return ctx, nil
 	}
+	// An inbound traceparent with the sampled flag is an explicit
+	// request to trace, same as the HTTP "trace": true knob — the
+	// caller is already recording its half of the story.
+	link := Remote(ctx)
+	if link.Valid() && link.Sampled {
+		force = true
+	}
 	sampled := force || (t.cfg.SampleEvery > 0 && t.counter.Add(1)%uint64(t.cfg.SampleEvery) == 0)
 	if !sampled && t.cfg.SlowThreshold <= 0 {
 		return ctx, nil
 	}
-	ctx, tr := t.start(ctx, "query", query, requestID)
+	if !link.Valid() {
+		link = SpanContext{}
+	}
+	ctx, tr := t.start(ctx, "query", query, requestID, link)
 	tr.sampled = sampled
 	tr.isQuery = true
 	return ctx, tr
@@ -321,12 +483,35 @@ func (t *Tracer) StartQuery(ctx context.Context, query, requestID string, force 
 
 // Start begins an always-recorded trace for a non-query operation
 // (checkpoint, recovery). These are rare enough that sampling does not
-// apply.
+// apply. An inbound remote span context (traceparent) is adopted.
 func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *Trace) {
 	if t == nil {
 		return ctx, nil
 	}
-	ctx, tr := t.start(ctx, name, "", RequestID(ctx))
+	link := Remote(ctx)
+	if !link.Valid() {
+		link = SpanContext{}
+	}
+	ctx, tr := t.start(ctx, name, "", RequestID(ctx), link)
+	tr.sampled = true
+	return ctx, tr
+}
+
+// StartLinked begins an always-recorded trace that continues work
+// started elsewhere in this process: an asynchronous stage (ingest
+// promotion, stream apply) whose originating request has already
+// returned. The new trace adopts the link's trace ID and records the
+// originating span as its parent, so GET /v1/traces/{id} and the OTLP
+// export stitch the stage back under the request that caused it.
+// Returns (ctx, nil) — tracing off for this stage — when the tracer is
+// nil or the link is invalid; callers capture links with
+// SpanContextFrom, which yields an invalid link on untraced requests,
+// making the whole chain free when tracing is off.
+func (t *Tracer) StartLinked(ctx context.Context, name string, link SpanContext) (context.Context, *Trace) {
+	if t == nil || !link.Valid() {
+		return ctx, nil
+	}
+	ctx, tr := t.start(ctx, name, "", "", link)
 	tr.sampled = true
 	return ctx, tr
 }
@@ -354,6 +539,28 @@ func (t *Tracer) Finish(tr *Trace) {
 	if tr.sampled {
 		t.recent.put(tr)
 	}
+	if t.cfg.Exporter != nil && (tr.sampled || tr.Slow) {
+		t.cfg.Exporter(tr)
+	}
+}
+
+// ByID returns every retained trace sharing the trace ID, newest
+// first: the request's own trace plus any linked asynchronous stages
+// (ingest promotions, stream applies) that adopted its ID.
+func (t *Tracer) ByID(id string) []*Trace {
+	if t == nil {
+		return nil
+	}
+	seen := make(map[*Trace]bool)
+	var out []*Trace
+	for _, tr := range append(t.recent.snapshot(), t.slow.snapshot()...) {
+		if tr.ID == id && !seen[tr] {
+			seen[tr] = true
+			out = append(out, tr)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].StartUnixUS > out[j].StartUnixUS })
+	return out
 }
 
 // Recent returns the retained traces, newest first.

@@ -179,6 +179,11 @@ type Log struct {
 	nextSeq uint64
 	dirty   bool // unsynced appends under SyncInterval/SyncNever
 	closed  bool
+	// activeSince is when the active segment started accepting
+	// appends: creation time for a fresh segment, file mtime for one
+	// adopted on Open. Observability only — "how stale is the oldest
+	// unsealed data" in /v1/health.
+	activeSince time.Time
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -247,6 +252,7 @@ func Open(dir string, opts Options) (*Log, error) {
 			return nil, fmt.Errorf("wal: %w", err)
 		}
 		l.f, l.size = f, st.Size()
+		l.activeSince = st.ModTime()
 	}
 
 	if opts.Sync == SyncInterval {
@@ -448,7 +454,18 @@ func (l *Log) createSegment(first uint64) error {
 	l.f, l.size = f, headerSize
 	l.segs = append(l.segs, segment{path: path, first: first, last: first - 1})
 	l.nextSeq = first
+	l.activeSince = time.Now()
 	return nil
+}
+
+// ActiveSince returns when the active (unsealed) segment started
+// accepting appends — the upper bound on how long its records have
+// been waiting for a Seal/checkpoint. Surfaced as journal lag in
+// /v1/health.
+func (l *Log) ActiveSince() time.Time {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.activeSince
 }
 
 // syncDir fsyncs a directory so renames and creates within it are
